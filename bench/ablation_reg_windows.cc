@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation A2 (§4.1): register windows vs thread context switches.
+ *
+ * Sweeps the number of windows spilled/filled per context switch (the
+ * SunOS average is 3 on 8-window SPARCs), prices the Synapse runs'
+ * call/switch mixes on every machine, and shows the §4.1 verdict: on
+ * the SPARC, a parallel program with a 21:1..42:1 call:switch ratio
+ * spends more time switching than calling.
+ */
+
+#include <cstdio>
+
+#include "core/aosd.hh"
+
+using namespace aosd;
+
+int
+main()
+{
+    std::printf("Ablation: register windows and fine-grained "
+                "threads\n\n");
+
+    std::printf("Windows saved/restored per switch (SPARC user-level "
+                "thread switch):\n");
+    TextTable t;
+    t.header({"windows/switch", "switch cycles", "switch us",
+              "switch/call ratio"});
+    for (double w : {0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+        MachineDesc m = sharedCostDb().machine(MachineId::SPARC);
+        m.regWindows.avgSaveRestorePerSwitch = w;
+        ThreadCosts c = computeThreadCosts(m);
+        t.row({TextTable::num(w, 0),
+               std::to_string(c.userThreadSwitch),
+               TextTable::num(
+                   m.clock.cyclesToMicros(c.userThreadSwitch), 1),
+               TextTable::num(c.switchToCallRatio(), 0)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("(paper: 3 windows/switch average; 12.8 us per window; "
+                "switch ~50x a call)\n\n");
+
+    std::printf("Synapse call/switch mixes priced on each machine "
+                "(time in ms):\n");
+    TextTable s;
+    s.header({"machine", "run", "ratio", "call ms", "switch ms",
+              "verdict"});
+    for (MachineId id : {MachineId::CVAX, MachineId::R3000,
+                         MachineId::SPARC, MachineId::RS6000}) {
+        const MachineDesc &m = sharedCostDb().machine(id);
+        for (const SynapseRun &run : synapseExperiments()) {
+            SynapseCostResult r = priceSynapseRun(m, run);
+            s.row({m.name, r.run, TextTable::num(r.ratio, 0) + ":1",
+                   TextTable::num(r.callTimeUs / 1000.0, 1),
+                   TextTable::num(r.switchTimeUs / 1000.0, 1),
+                   r.switchesDominate() ? "switches dominate"
+                                        : "calls dominate"});
+        }
+        s.separator();
+    }
+    std::printf("%s", s.render().c_str());
+    std::printf("(paper s4.1: on the SPARC, Synapse would spend more "
+                "time context switching\nthan making procedure calls; "
+                "the [Wall 86] save-active-only optimization below)\n\n");
+
+    std::printf("Save-only-active-registers optimization "
+                "[Wall 86]:\n");
+    TextTable o;
+    o.header({"machine", "full-state switch", "active-only switch",
+              "saving"});
+    for (const MachineDesc &m : table6Machines()) {
+        ThreadCosts full = computeThreadCosts(m);
+        ThreadCostOptions opts;
+        opts.saveActiveOnly = true;
+        ThreadCosts lean = computeThreadCosts(m, opts);
+        double save = 100.0 *
+                      (1.0 - static_cast<double>(lean.userThreadSwitch) /
+                                 static_cast<double>(
+                                     full.userThreadSwitch));
+        o.row({m.name, std::to_string(full.userThreadSwitch),
+               std::to_string(lean.userThreadSwitch),
+               TextTable::num(save, 0) + "%"});
+    }
+    std::printf("%s", o.render().c_str());
+    std::printf("(helps flat register files; cannot help register "
+                "windows, whose spill is\nall-or-nothing)\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation A13: executed vs analytic RPC.
+ *
+ * Runs real round trips through the event-driven two-node simulation
+ * (schedulers, interrupts, packets on a shared Ethernet) and compares
+ * against the Table 3 analytic component model — the same
+ * breakdown-vs-measurement consistency check the paper's authors
+ * performed on the Firefly.
+ */
+
+#include <cstdio>
+
+#include "core/aosd.hh"
+#include "os/ipc/rpc_sim.hh"
+
+using namespace aosd;
+
+int
+main()
+{
+    std::printf("Ablation: executed RPC simulation vs analytic "
+                "model\n\n");
+
+    TextTable t;
+    t.header({"machine", "analytic us", "executed us", "delta %",
+              "client CPU us", "server CPU us"});
+    for (const MachineDesc &m : allMachines()) {
+        SrcRpcModel analytic(m);
+        double a = analytic.nullRpc().totalUs();
+        RpcSimulation sim(m);
+        RpcSimResult r = sim.run(50);
+        double delta = 100.0 * (r.latencyUs - a) / a;
+        t.row({m.name, TextTable::num(a, 0),
+               TextTable::num(r.latencyUs, 0),
+               TextTable::num(delta, 1),
+               TextTable::num(r.clientCpuUs / 50.0, 0),
+               TextTable::num(r.serverCpuUs / 50.0, 0)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("Payload sweep on the R3000 (executed):\n");
+    TextTable p;
+    p.header({"result bytes", "latency us", "packets"});
+    for (std::uint32_t bytes : {4u, 74u, 512u, 1500u}) {
+        RpcSimulation sim(sharedCostDb().machine(MachineId::R3000));
+        RpcSimResult r = sim.run(20, 74, bytes);
+        p.row({std::to_string(bytes), TextTable::num(r.latencyUs, 0),
+               std::to_string(r.packets)});
+    }
+    std::printf("%s", p.render().c_str());
+    std::printf("(the executed path exercises EventQueue + Network + "
+                "SimKernel end to end;\nagreement with the component "
+                "model validates both)\n");
+    return 0;
+}

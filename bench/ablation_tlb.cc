@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation A3 (§3.2): TLB structure.
+ *
+ * Three experiments: (1) process-ID tags on/off — the purge-per-switch
+ * cost that eats ~25% of a null LRPC on the CVAX; (2) SPARC/Cypress
+ * superpage terminal PTEs — one TLB entry mapping a 256KB region;
+ * (3) TLB size under a kernelized workload — the §5 observation that
+ * decomposition stresses a fixed-size TLB.
+ */
+
+#include <cstdio>
+
+#include "core/aosd.hh"
+
+using namespace aosd;
+
+int
+main()
+{
+    std::printf("Ablation: TLB structure\n\n");
+
+    // (1) PID tags on/off on every machine, via the LRPC TLB share.
+    std::printf("(1) Process-ID tags vs the null LRPC:\n");
+    TextTable t;
+    t.header({"machine", "tags", "LRPC us", "TLB us", "TLB %"});
+    for (const MachineDesc &base : allMachines()) {
+        for (bool tags : {false, true}) {
+            MachineDesc m = base;
+            m.tlb.processIdTags = tags;
+            m.tlb.pidCount = tags ? 64 : 0;
+            LrpcModel model(m);
+            LrpcBreakdown b = model.nullCall();
+            t.row({m.name, tags ? "yes" : "no",
+                   TextTable::num(b.totalUs(), 1),
+                   TextTable::num(b.tlbMissUs, 1),
+                   TextTable::num(b.tlbPercent(), 1)});
+        }
+        t.separator();
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // (2) Superpage terminal PTEs: TLB entries needed to map a region.
+    std::printf("(2) SPARC/Cypress terminal (superpage) PTEs:\n");
+    {
+        auto table = makeMultiLevelPageTable();
+        const std::uint64_t region_pages = 256; // 1MB
+        for (Vpn v = 0; v < region_pages; ++v)
+            table->map(v, Pte{0x1000 + v, {}, false, false, false});
+        std::uint64_t base_entries = region_pages; // one TLB entry/page
+
+        auto super = makeMultiLevelPageTable();
+        std::uint64_t super_entries = 0;
+        for (Vpn v = 0; v < region_pages;
+             v += PageTable::superpagePages) {
+            super->mapSuperpage(v,
+                                Pte{0x1000 + v, {}, false, false,
+                                    false});
+            ++super_entries;
+        }
+        WalkResult w = super->walk(100);
+        std::printf("  1MB region: %llu TLB entries with 4KB pages, "
+                    "%llu with 256KB terminal PTEs\n",
+                    static_cast<unsigned long long>(base_entries),
+                    static_cast<unsigned long long>(super_entries));
+        std::printf("  superpage walk: %u levels, pfn contiguous: %s, "
+                    "table overhead %llu vs %llu bytes\n\n",
+                    w.levels, w.pte ? "yes" : "lookup failed",
+                    static_cast<unsigned long long>(
+                        super->tableOverheadBytes()),
+                    static_cast<unsigned long long>(
+                        base_entries ? table->tableOverheadBytes() : 0));
+    }
+
+    // (3) TLB size under the decomposed OS workload.
+    std::printf("(3) TLB size vs kernel TLB misses (andrew-local on "
+                "the decomposed OS):\n");
+    TextTable z;
+    z.header({"TLB entries", "kernel TLB misses", "% time in prims"});
+    for (std::uint32_t entries : {32u, 64u, 128u, 256u}) {
+        MachineDesc m = sharedCostDb().machine(MachineId::R3000);
+        m.tlb.entries = entries;
+        MachSystem sys(m, OsStructure::SmallKernel);
+        Table7Row row = sys.run(workloadByName("andrew-local"));
+        z.row({std::to_string(entries),
+               TextTable::grouped(row.kernelTlbMisses),
+               TextTable::num(row.percentTimeInPrimitives, 1)});
+    }
+    std::printf("%s", z.render().c_str());
+    std::printf("(s3.2/s5: kernelized structure increases the demand "
+                "for tag bits and TLB size)\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation A4 (§3.2): virtually-addressed caches.
+ *
+ * A PTE change must invalidate at most one TLB entry, but on a
+ * virtually-addressed cache it must sweep every line of the page
+ * (i860: 536 of 559 instructions); without context tags the whole
+ * cache goes on every switch. This bench prices both effects with the
+ * functional cache model and the handler programs.
+ */
+
+#include <cstdio>
+
+#include "core/aosd.hh"
+
+using namespace aosd;
+
+int
+main()
+{
+    std::printf("Ablation: virtually-addressed caches\n\n");
+
+    std::printf("(1) PTE-change and context-switch primitives, by "
+                "cache type:\n");
+    TextTable t;
+    t.header({"machine", "cache", "tags", "PTE change us",
+              "ctx switch us"});
+    const PrimitiveCostDb &db = sharedCostDb();
+    for (const MachineDesc &m : allMachines()) {
+        const char *kind =
+            m.cache.indexing == CacheIndexing::Virtual ? "virtual"
+                                                       : "physical";
+        const char *tags =
+            m.cache.indexing != CacheIndexing::Virtual
+                ? "-"
+                : (m.cache.flushOnContextSwitch ? "no" : "yes");
+        t.row({m.name, kind, tags,
+               TextTable::num(db.micros(m.id, Primitive::PteChange), 1),
+               TextTable::num(
+                   db.micros(m.id, Primitive::ContextSwitch), 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("(2) Functional flush costs (i860-style 8KB virtual "
+                "cache, 32B lines):\n");
+    {
+        MachineDesc i860 = db.machine(MachineId::I860);
+        Cache cache(i860.cache);
+        // Warm the cache with one context's data.
+        for (Addr a = 0; a < 8 * 1024; a += 32)
+            cache.access(a, 1, a % 64 == 0);
+        Cycles page_flush = cache.flushPage(0, 1);
+        for (Addr a = 0; a < 8 * 1024; a += 32)
+            cache.access(a, 1, false);
+        Cycles full_flush = cache.flushAll();
+        std::printf("  flush one 4KB page: %llu cycles (%.1f us)\n",
+                    static_cast<unsigned long long>(page_flush),
+                    i860.clock.cyclesToMicros(page_flush));
+        std::printf("  flush whole cache (context switch, untagged): "
+                    "%llu cycles (%.1f us)\n",
+                    static_cast<unsigned long long>(full_flush),
+                    i860.clock.cyclesToMicros(full_flush));
+    }
+
+    std::printf("\n(3) What context tags would save the i860:\n");
+    {
+        MachineDesc tagged = db.machine(MachineId::I860);
+        Cache untagged_cache(tagged.cache);
+        // Untagged: every switch flushes. Tagged: nothing to do.
+        Cycles flush = untagged_cache.flushAll();
+        std::printf("  per switch: %llu cycles untagged vs 0 tagged "
+                    "(s3.2: \"Process IDs can\n  eliminate the need "
+                    "for this\")\n",
+                    static_cast<unsigned long long>(flush));
+    }
+
+    std::printf("\n(4) Copy bandwidth by machine (s2.4, [Ousterhout "
+                "90b]):\n");
+    TextTable c;
+    c.header({"machine", "MHz", "integer x", "copy MB/s",
+              "MB/s per integer x"});
+    for (const MachineDesc &m : allMachines()) {
+        double bw = copyBandwidthMBps(m);
+        c.row({m.name, TextTable::num(m.clock.mhz(), 1),
+               TextTable::num(m.appPerfVsCvax, 1),
+               TextTable::num(bw, 1),
+               TextTable::num(bw / m.appPerfVsCvax, 1)});
+    }
+    std::printf("%s", c.render().c_str());
+    std::printf("(relative copy performance drops as integer "
+                "performance rises)\n");
+    return 0;
+}

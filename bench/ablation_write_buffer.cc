@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation A1 (§2.3): write-buffer architecture vs trap performance.
+ *
+ * The DECstation 3100's 4-deep buffer stalls 5 cycles per successive
+ * write once full — ~30% of its interrupt overhead — while the
+ * DECstation 5000's 6-deep buffer retires same-page writes one per
+ * cycle. This bench sweeps depth and the same-page fast-retire
+ * feature on the MIPS handler programs and reports where the cycles
+ * go.
+ */
+
+#include <cstdio>
+
+#include "core/aosd.hh"
+
+using namespace aosd;
+
+namespace
+{
+
+ExecResult
+runWith(MachineDesc m, const WriteBufferDesc &wb, Primitive p)
+{
+    m.writeBuffer = wb;
+    ExecModel exec(m);
+    return exec.run(buildHandler(m, p));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: write buffers and trap handling (MIPS "
+                "handler programs)\n\n");
+
+    MachineDesc base = sharedCostDb().machine(MachineId::R2000);
+
+    std::printf("Depth sweep (drain=5 cycles, no same-page retire), "
+                "null syscall + trap:\n");
+    TextTable t;
+    t.header({"depth", "syscall cyc", "wb stall", "trap cyc",
+              "wb stall", "stall % of trap"});
+    for (std::uint32_t depth : {1u, 2u, 4u, 6u, 8u, 16u}) {
+        WriteBufferDesc wb{depth, 5, false, 5, true};
+        ExecResult sc = runWith(base, wb, Primitive::NullSyscall);
+        ExecResult tr = runWith(base, wb, Primitive::Trap);
+        t.row({std::to_string(depth), std::to_string(sc.cycles),
+               std::to_string(sc.breakdown.writeBufferStall),
+               std::to_string(tr.cycles),
+               std::to_string(tr.breakdown.writeBufferStall),
+               TextTable::num(
+                   100.0 *
+                       static_cast<double>(
+                           tr.breakdown.writeBufferStall) /
+                       static_cast<double>(tr.cycles),
+                   0)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("DECstation 3100 vs 5000 configurations:\n");
+    TextTable c;
+    c.header({"config", "syscall cyc", "trap cyc", "ctxsw cyc",
+              "trap wb-stall %"});
+    struct Config
+    {
+        const char *name;
+        WriteBufferDesc wb;
+    };
+    const Config configs[] = {
+        {"3100: 4-deep, stall 5/write, reads wait",
+         {4, 5, false, 5, true}},
+        {"5000: 6-deep, same-page 1/cycle", {6, 4, true, 1, false}},
+        {"hybrid: 4-deep + same-page retire", {4, 5, true, 1, false}},
+        {"no buffer (depth 1, drain 8)", {1, 8, false, 8, true}},
+    };
+    for (const Config &cfg : configs) {
+        ExecResult sc = runWith(base, cfg.wb, Primitive::NullSyscall);
+        ExecResult tr = runWith(base, cfg.wb, Primitive::Trap);
+        ExecResult cs = runWith(base, cfg.wb, Primitive::ContextSwitch);
+        c.row({cfg.name, std::to_string(sc.cycles),
+               std::to_string(tr.cycles), std::to_string(cs.cycles),
+               TextTable::num(
+                   100.0 *
+                       static_cast<double>(
+                           tr.breakdown.writeBufferStall) /
+                       static_cast<double>(tr.cycles),
+                   0)});
+    }
+    std::printf("%s", c.render().c_str());
+    std::printf("(paper: write-buffer stalls are ~30%% of interrupt "
+                "overhead on the 3100;\nthe 5000's same-page retire "
+                "removes nearly all of it)\n");
+    return 0;
+}

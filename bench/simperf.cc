@@ -1,0 +1,108 @@
+/**
+ * @file
+ * P1: google-benchmark micro-benchmarks of the simulator's own hot
+ * paths (handler execution, TLB lookups, workload runs), so simulator
+ * performance regressions are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/aosd.hh"
+
+using namespace aosd;
+
+namespace
+{
+
+void
+BM_HandlerExecution(benchmark::State &state)
+{
+    MachineDesc m = makeMachine(
+        static_cast<MachineId>(state.range(0)));
+    HandlerProgram prog = buildHandler(m, Primitive::Trap);
+    ExecModel exec(m);
+    for (auto _ : state) {
+        ExecResult r = exec.run(prog);
+        benchmark::DoNotOptimize(r.cycles);
+        exec.reset();
+    }
+}
+BENCHMARK(BM_HandlerExecution)
+    ->Arg(static_cast<int>(MachineId::CVAX))
+    ->Arg(static_cast<int>(MachineId::R3000))
+    ->Arg(static_cast<int>(MachineId::SPARC));
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    TlbDesc desc;
+    desc.entries = static_cast<std::uint32_t>(state.range(0));
+    desc.processIdTags = true;
+    Tlb tlb(desc);
+    for (std::uint32_t i = 0; i < desc.entries; ++i)
+        tlb.insert(i, 1, i, {});
+    Vpn v = 0;
+    for (auto _ : state) {
+        TlbLookup r = tlb.lookup(v, 1);
+        benchmark::DoNotOptimize(r.hit);
+        v = (v + 1) % desc.entries;
+    }
+}
+BENCHMARK(BM_TlbLookup)->Arg(64)->Arg(256);
+
+void
+BM_PageTableWalk(benchmark::State &state)
+{
+    auto table = state.range(0) == 0 ? makeLinearPageTable(1 << 20)
+                 : state.range(0) == 1 ? makeMultiLevelPageTable()
+                                       : makeHashedPageTable(1024);
+    for (Vpn v = 0; v < 4096; ++v)
+        table->map(v, Pte{v, {}, false, false, false});
+    Vpn v = 0;
+    for (auto _ : state) {
+        WalkResult r = table->walk(v);
+        benchmark::DoNotOptimize(r.pte);
+        v = (v + 1) % 4096;
+    }
+}
+BENCHMARK(BM_PageTableWalk)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_LrpcSimulation(benchmark::State &state)
+{
+    const MachineDesc &m = sharedCostDb().machine(MachineId::CVAX);
+    for (auto _ : state) {
+        LrpcModel model(m);
+        LrpcBreakdown b = model.nullCall();
+        benchmark::DoNotOptimize(b.totalUs());
+    }
+}
+BENCHMARK(BM_LrpcSimulation);
+
+void
+BM_WorkloadRun(benchmark::State &state)
+{
+    const MachineDesc &m = sharedCostDb().machine(MachineId::R3000);
+    AppProfile app = workloadByName("spellcheck-1");
+    for (auto _ : state) {
+        MachSystem sys(m, OsStructure::SmallKernel);
+        Table7Row row = sys.run(app);
+        benchmark::DoNotOptimize(row.kernelTlbMisses);
+    }
+}
+BENCHMARK(BM_WorkloadRun);
+
+void
+BM_CopyModel(benchmark::State &state)
+{
+    const MachineDesc &m = sharedCostDb().machine(MachineId::R3000);
+    for (auto _ : state) {
+        Cycles c = copyCycles(m, 4096);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CopyModel);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Table 6: processor thread state (32-bit words) — the
+ * state that must move on every thread context switch — plus the
+ * resulting user-level thread-switch costs (§4.1), which is the point
+ * the table exists to make.
+ */
+
+#include <cstdio>
+
+#include "core/aosd.hh"
+
+using namespace aosd;
+
+int
+main()
+{
+    std::printf("Table 6: Processor Thread State (32-bit words)\n\n");
+
+    // Paper values for the caption row.
+    struct PaperRow
+    {
+        MachineId id;
+        unsigned regs, fp, misc;
+    };
+    const PaperRow paper[] = {
+        {MachineId::CVAX, 16, 0, 1},  {MachineId::M88000, 32, 0, 27},
+        {MachineId::R2000, 32, 32, 5}, {MachineId::SPARC, 136, 32, 6},
+        {MachineId::I860, 32, 32, 9},  {MachineId::RS6000, 32, 64, 4},
+    };
+
+    TextTable t;
+    t.header({"", "VAX", "88000", "R2/3000", "SPARC", "i860", "RS6000"});
+    auto rows = Study::threadState();
+    auto line = [&](const char *label, auto get, auto getp) {
+        std::vector<std::string> sim{label};
+        std::vector<std::string> pap{"  (paper)"};
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            sim.push_back(std::to_string(get(rows[i])));
+            pap.push_back(std::to_string(getp(paper[i])));
+        }
+        t.row(sim);
+        t.row(pap);
+        t.separator();
+    };
+    line("Registers",
+         [](const ThreadStateResult &r) { return r.registers; },
+         [](const PaperRow &r) { return r.regs; });
+    line("F.P. state",
+         [](const ThreadStateResult &r) { return r.fpState; },
+         [](const PaperRow &r) { return r.fp; });
+    line("Misc. state",
+         [](const ThreadStateResult &r) { return r.miscState; },
+         [](const PaperRow &r) { return r.misc; });
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("What the state costs: user-level thread operations "
+                "(cycles / microseconds):\n");
+    TextTable c;
+    c.header({"Machine", "proc call", "uthread switch", "switch us",
+              "switch/call", "uthread create"});
+    for (const MachineDesc &m : table6Machines()) {
+        ThreadCosts tc = computeThreadCosts(m);
+        c.row({m.name, std::to_string(tc.procedureCall),
+               std::to_string(tc.userThreadSwitch),
+               TextTable::num(
+                   m.clock.cyclesToMicros(tc.userThreadSwitch), 1),
+               TextTable::num(tc.switchToCallRatio(), 0),
+               std::to_string(tc.userThreadCreate)});
+    }
+    std::printf("%s", c.render().c_str());
+    std::printf("(paper s4.1: a SPARC thread switch costs ~50 "
+                "procedure calls at 3 window\nsave/restores per "
+                "switch; a purely user-level switch is impossible "
+                "because the\ncurrent-window pointer is privileged)\n");
+    return 0;
+}

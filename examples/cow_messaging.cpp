@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: copy-on-write message passing (§3, Accent/Mach style).
+ *
+ * A client "sends" a 64-page message to a server by COW-mapping the
+ * buffer into the server's space. If neither side writes, no bytes
+ * ever move; writes fault and copy just the touched pages. The run
+ * compares against an eager byte copy and shows the crossover that
+ * motivated overloading VM protection — plus what it costs on a
+ * machine where traps and PTE changes are slow.
+ *
+ * Run: ./build/examples/example_cow_messaging
+ */
+
+#include <cstdio>
+
+#include "core/aosd.hh"
+
+using namespace aosd;
+
+namespace
+{
+
+double
+sendCow(const MachineDesc &m, std::uint64_t pages,
+        std::uint64_t pages_written)
+{
+    SimKernel kernel(m);
+    VmManager vm(kernel);
+    AddressSpace &client = kernel.createSpace("client");
+    AddressSpace &server = kernel.createSpace("server");
+    PageProt rw;
+    rw.writable = true;
+    vm.mapZeroFill(client, 0x100, pages, rw);
+
+    kernel.resetAccounting();
+    // Send: map COW into the server (one PTE change per page).
+    vm.shareCopyOnWrite(client, 0x100, server, 0x500, pages);
+    // Receiver modifies a prefix of the message.
+    for (std::uint64_t p = 0; p < pages_written; ++p) {
+        FaultResult r = vm.access(server, 0x500 + p, true);
+        if (r != FaultResult::CopiedOnWrite)
+            fatal("expected a COW break");
+    }
+    return kernel.elapsedMicros();
+}
+
+double
+sendEager(const MachineDesc &m, std::uint64_t pages)
+{
+    SimKernel kernel(m);
+    kernel.resetAccounting();
+    kernel.syscall();
+    kernel.chargeCycles(copyCycles(m, pages * pageBytes));
+    return kernel.elapsedMicros();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t pages = 64; // 256KB message
+
+    std::printf("Sending a 256KB message: copy-on-write vs eager "
+                "copy\n\n");
+    for (MachineId id :
+         {MachineId::R3000, MachineId::I860, MachineId::CVAX}) {
+        const MachineDesc &m = sharedCostDb().machine(id);
+        std::printf("%s (trap %.1f us, PTE change %.1f us):\n",
+                    m.name.c_str(),
+                    sharedCostDb().micros(id, Primitive::Trap),
+                    sharedCostDb().micros(id, Primitive::PteChange));
+        double eager = sendEager(m, pages);
+        std::printf("    eager copy:                 %8.0f us\n",
+                    eager);
+        for (std::uint64_t written : {0ull, 8ull, 32ull, 64ull}) {
+            double cow = sendCow(m, pages, written);
+            std::printf("    COW, receiver writes %2llu/64: %8.0f us "
+                        "(%s)\n",
+                        static_cast<unsigned long long>(written), cow,
+                        cow < eager ? "COW wins" : "copy wins");
+        }
+        std::printf("\n");
+    }
+    std::printf("(s3.3: with expensive faults and virtually-addressed "
+                "caches, operating\nsystems may need to be *less* "
+                "aggressive with copy-on-write tricks - see the\ni860 "
+                "numbers above)\n");
+    return 0;
+}

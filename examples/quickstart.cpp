@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Quickstart: simulate the four primitive OS operations on every
+ * machine model and compare against the paper's Table 1 / Table 2.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/example_quickstart
+ */
+
+#include <cstdio>
+
+#include "arch/machines.hh"
+#include "cpu/primitive_costs.hh"
+#include "sim/table.hh"
+
+using namespace aosd;
+
+int
+main()
+{
+    PrimitiveCostDb db;
+
+    std::printf("Primitive OS operations: simulated vs. paper\n");
+    std::printf("(times in microseconds; instr counts are dynamic)\n\n");
+
+    for (const MachineDesc &m : allMachines()) {
+        std::printf("%s (%s, %.1f MHz)\n", m.name.c_str(),
+                    m.system.c_str(), m.clock.mhz());
+        TextTable t;
+        t.header({"Operation", "sim us", "paper us", "sim cycles",
+                  "sim instr", "paper instr"});
+        for (Primitive p : allPrimitives) {
+            double paper_us = PaperPrimitiveData::microseconds(m.id, p);
+            std::uint64_t paper_n =
+                PaperPrimitiveData::instructionCount(m.id, p);
+            t.row({primitiveName(p),
+                   TextTable::num(db.micros(m.id, p), 1),
+                   paper_us < 0 ? "-" : TextTable::num(paper_us, 1),
+                   std::to_string(db.cycles(m.id, p)),
+                   std::to_string(db.instructions(m.id, p)),
+                   paper_n == 0 ? "-" : std::to_string(paper_n)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    return 0;
+}

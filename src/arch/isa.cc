@@ -1,0 +1,188 @@
+#include "arch/isa.hh"
+
+namespace aosd
+{
+
+InstrStream &
+InstrStream::push(Op op)
+{
+    if (op.count > 0)
+        opList.push_back(op);
+    return *this;
+}
+
+InstrStream &
+InstrStream::alu(std::uint32_t n)
+{
+    return push({OpKind::Alu, n});
+}
+
+InstrStream &
+InstrStream::nop(std::uint32_t n)
+{
+    return push({OpKind::Nop, n});
+}
+
+InstrStream &
+InstrStream::branch(std::uint32_t n)
+{
+    return push({OpKind::Branch, n});
+}
+
+InstrStream &
+InstrStream::load(std::uint32_t n, bool cold_miss)
+{
+    Op op{OpKind::Load, n};
+    op.coldMiss = cold_miss;
+    return push(op);
+}
+
+InstrStream &
+InstrStream::loadUncached(std::uint32_t n)
+{
+    Op op{OpKind::Load, n};
+    op.uncached = true;
+    return push(op);
+}
+
+InstrStream &
+InstrStream::store(std::uint32_t n, bool same_page)
+{
+    Op op{OpKind::Store, n};
+    op.samePage = same_page;
+    return push(op);
+}
+
+InstrStream &
+InstrStream::storeUncached(std::uint32_t n)
+{
+    Op op{OpKind::Store, n};
+    op.uncached = true;
+    return push(op);
+}
+
+InstrStream &
+InstrStream::trapEnter(bool counts_as_instr)
+{
+    Op op{OpKind::TrapEnter, 1};
+    op.countsAsInstr = counts_as_instr;
+    return push(op);
+}
+
+InstrStream &
+InstrStream::trapReturn()
+{
+    return push({OpKind::TrapReturn, 1});
+}
+
+InstrStream &
+InstrStream::ctrlRead(std::uint32_t n)
+{
+    return push({OpKind::CtrlRegRead, n});
+}
+
+InstrStream &
+InstrStream::ctrlWrite(std::uint32_t n)
+{
+    return push({OpKind::CtrlRegWrite, n});
+}
+
+InstrStream &
+InstrStream::tlbWrite(std::uint32_t n)
+{
+    return push({OpKind::TlbWrite, n});
+}
+
+InstrStream &
+InstrStream::tlbProbe(std::uint32_t n)
+{
+    return push({OpKind::TlbProbe, n});
+}
+
+InstrStream &
+InstrStream::tlbPurgeEntry(std::uint32_t n)
+{
+    return push({OpKind::TlbPurgeEntry, n});
+}
+
+InstrStream &
+InstrStream::tlbPurgeAll()
+{
+    return push({OpKind::TlbPurgeAll, 1});
+}
+
+InstrStream &
+InstrStream::cacheFlushLine(std::uint32_t n)
+{
+    return push({OpKind::CacheFlushLine, n});
+}
+
+InstrStream &
+InstrStream::cacheFlushAll()
+{
+    return push({OpKind::CacheFlushAll, 1});
+}
+
+InstrStream &
+InstrStream::microcoded(std::uint32_t cycles, std::uint32_t n)
+{
+    Op op{OpKind::Microcoded, n};
+    op.cycles = cycles;
+    return push(op);
+}
+
+InstrStream &
+InstrStream::atomicOp(std::uint32_t n)
+{
+    return push({OpKind::AtomicOp, n});
+}
+
+InstrStream &
+InstrStream::fpuSync(std::uint32_t cycles)
+{
+    Op op{OpKind::FpuSync, 1};
+    op.cycles = cycles;
+    // Draining a pipeline is an event, not an instruction; the
+    // instructions doing the draining are listed explicitly by handlers.
+    op.countsAsInstr = false;
+    return push(op);
+}
+
+InstrStream &
+InstrStream::hwDelay(std::uint32_t cycles)
+{
+    Op op{OpKind::Microcoded, 1};
+    op.cycles = cycles;
+    op.countsAsInstr = false;
+    return push(op);
+}
+
+InstrStream &
+InstrStream::append(const InstrStream &other)
+{
+    for (const auto &op : other.opList)
+        opList.push_back(op);
+    return *this;
+}
+
+std::uint64_t
+InstrStream::instructionCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &op : opList)
+        if (op.countsAsInstr)
+            n += op.count;
+    return n;
+}
+
+std::uint64_t
+InstrStream::countOf(OpKind kind) const
+{
+    std::uint64_t n = 0;
+    for (const auto &op : opList)
+        if (op.kind == kind)
+            n += op.count;
+    return n;
+}
+
+} // namespace aosd

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Micro-operation ISA for handler programs.
+ *
+ * The paper measures hand-written assembler trap/syscall/PTE/context-switch
+ * drivers on five machines. We represent each driver as an InstrStream of
+ * typed micro-ops; the execution model (src/cpu/exec_model.hh) charges
+ * cycles per op against stateful memory-system components. Table 2's
+ * dynamic instruction counts are reproduced by construction: each op
+ * declares how many architectural instructions it represents.
+ */
+
+#ifndef AOSD_ARCH_ISA_HH
+#define AOSD_ARCH_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aosd
+{
+
+/** Classes of micro-operation a handler program can contain. */
+enum class OpKind
+{
+    Alu,             ///< single-cycle integer op (incl. shifts, compares)
+    Nop,             ///< unfilled delay slot / explicit no-op
+    Branch,          ///< branch or jump (delay slot modelled as Nop/Alu)
+    Load,            ///< memory load through the cache
+    Store,           ///< memory store through the write buffer
+    TrapEnter,       ///< hardware exception/trap entry (instruction on CISC)
+    TrapReturn,      ///< return-from-exception (REI / rfe+jr / rett)
+    CtrlRegRead,     ///< read of a privileged/pipeline control register
+    CtrlRegWrite,    ///< write of a privileged/pipeline control register
+    TlbWrite,        ///< insert/replace one TLB entry (tlbwr / MTPR)
+    TlbProbe,        ///< probe TLB for a VA (tlbp)
+    TlbPurgeEntry,   ///< invalidate one TLB entry (TBIS)
+    TlbPurgeAll,     ///< invalidate the whole TLB (TBIA / context change)
+    CacheFlushLine,  ///< flush/invalidate one cache line (virtual caches)
+    CacheFlushAll,   ///< flush the entire cache
+    Microcoded,      ///< CISC instruction with an explicit microcode cost
+    AtomicOp,        ///< interlocked memory op (test&set, xmem, ldstub)
+    FpuSync,         ///< drain/restart a frozen FP pipeline (88000, i860)
+};
+
+/** One micro-op (possibly repeated `count` times back to back). */
+struct Op
+{
+    OpKind kind = OpKind::Alu;
+    /** Number of back-to-back repetitions of this op. */
+    std::uint32_t count = 1;
+    /** Explicit cycle cost for Microcoded / FpuSync ops (per repetition). */
+    std::uint32_t cycles = 0;
+    /** Load/Store: bypasses the cache (I/O buffers, CMMU registers). */
+    bool uncached = false;
+    /** Load: guaranteed cache miss (cold context, e.g. after a switch). */
+    bool coldMiss = false;
+    /** Store: falls on the same DRAM page as the previous store. */
+    bool samePage = true;
+    /**
+     * Whether each repetition counts as an architectural instruction.
+     * Hardware trap entry on RISCs is an event, not an instruction;
+     * on the VAX the CHMK/REI microcoded instructions do count.
+     */
+    bool countsAsInstr = true;
+};
+
+/**
+ * A straight-line sequence of micro-ops. Builder methods return *this so
+ * handler programs read like annotated assembler listings.
+ */
+class InstrStream
+{
+  public:
+    InstrStream &push(Op op);
+
+    InstrStream &alu(std::uint32_t n = 1);
+    InstrStream &nop(std::uint32_t n = 1);
+    InstrStream &branch(std::uint32_t n = 1);
+    InstrStream &load(std::uint32_t n = 1, bool cold_miss = false);
+    InstrStream &loadUncached(std::uint32_t n = 1);
+    InstrStream &store(std::uint32_t n = 1, bool same_page = true);
+    InstrStream &storeUncached(std::uint32_t n = 1);
+    InstrStream &trapEnter(bool counts_as_instr);
+    InstrStream &trapReturn();
+    InstrStream &ctrlRead(std::uint32_t n = 1);
+    InstrStream &ctrlWrite(std::uint32_t n = 1);
+    InstrStream &tlbWrite(std::uint32_t n = 1);
+    InstrStream &tlbProbe(std::uint32_t n = 1);
+    InstrStream &tlbPurgeEntry(std::uint32_t n = 1);
+    InstrStream &tlbPurgeAll();
+    InstrStream &cacheFlushLine(std::uint32_t n = 1);
+    InstrStream &cacheFlushAll();
+    InstrStream &microcoded(std::uint32_t cycles, std::uint32_t n = 1);
+    InstrStream &atomicOp(std::uint32_t n = 1);
+    InstrStream &fpuSync(std::uint32_t cycles);
+    /** Pure hardware latency (exception entry slip, memory refresh,
+     *  hardware-assisted flush): costs cycles but is not an instruction. */
+    InstrStream &hwDelay(std::uint32_t cycles);
+
+    /** Append another stream. */
+    InstrStream &append(const InstrStream &other);
+
+    const std::vector<Op> &ops() const { return opList; }
+
+    /** Total architectural instructions represented. */
+    std::uint64_t instructionCount() const;
+
+    /** Totals by kind (for tests and introspection). */
+    std::uint64_t countOf(OpKind kind) const;
+
+  private:
+    std::vector<Op> opList;
+};
+
+/** The four primitive operations measured in Tables 1, 2 and 5. */
+enum class Primitive
+{
+    NullSyscall,
+    Trap,
+    PteChange,
+    ContextSwitch,
+};
+
+constexpr const char *
+primitiveName(Primitive p)
+{
+    switch (p) {
+      case Primitive::NullSyscall: return "Null system call";
+      case Primitive::Trap: return "Trap";
+      case Primitive::PteChange: return "Page table entry change";
+      case Primitive::ContextSwitch: return "Context switch";
+    }
+    return "?";
+}
+
+/** All primitives, in paper order. */
+inline const Primitive allPrimitives[] = {
+    Primitive::NullSyscall,
+    Primitive::Trap,
+    Primitive::PteChange,
+    Primitive::ContextSwitch,
+};
+
+/**
+ * Phases of a handler program. Table 5 decomposes the null system call
+ * into kernel entry/exit, call preparation and the C call/return; other
+ * primitives use Body.
+ */
+enum class PhaseKind
+{
+    KernelEntryExit,
+    CallPrep,
+    CCallReturn,
+    Body,
+};
+
+constexpr const char *
+phaseName(PhaseKind p)
+{
+    switch (p) {
+      case PhaseKind::KernelEntryExit: return "Kernel entry/exit";
+      case PhaseKind::CallPrep: return "Call preparation";
+      case PhaseKind::CCallReturn: return "Call/return to C";
+      case PhaseKind::Body: return "Body";
+    }
+    return "?";
+}
+
+/** A phase: a labelled instruction stream. */
+struct Phase
+{
+    PhaseKind kind;
+    InstrStream code;
+};
+
+/** A complete handler program for one primitive on one machine. */
+struct HandlerProgram
+{
+    Primitive primitive;
+    std::vector<Phase> phases;
+
+    std::uint64_t
+    instructionCount() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &p : phases)
+            n += p.code.instructionCount();
+        return n;
+    }
+};
+
+} // namespace aosd
+
+#endif // AOSD_ARCH_ISA_HH

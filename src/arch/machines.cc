@@ -1,0 +1,450 @@
+#include "arch/machines.hh"
+
+#include "sim/logging.hh"
+
+namespace aosd
+{
+
+namespace
+{
+
+MachineDesc
+makeCvax()
+{
+    MachineDesc m;
+    m.id = MachineId::CVAX;
+    m.name = "CVAX";
+    m.system = "VAXstation 3200";
+    m.clock = Clock::fromMHz(11.1);
+
+    // Table 6: 16 registers, no separate FP state saved for integer
+    // processes, 1 misc word (PSL).
+    m.intRegs = 16;
+    m.fpStateWords = 0;
+    m.miscStateWords = 1;
+
+    m.delaySlots = 0;
+    m.vectoring = TrapVectoring::Microcoded;
+    m.hasAtomicOp = true; // BBSSI/ADAWI interlocked instructions
+    m.providesFaultAddress = true;
+    m.microcoded = true;
+
+    // Board-level cache, physically addressed, write-through with a
+    // single-entry write latch; microcode hides most store latency.
+    m.cache.indexing = CacheIndexing::Physical;
+    m.cache.policy = WritePolicy::WriteThrough;
+    m.cache.sizeBytes = 64 * 1024;
+    m.cache.lineBytes = 8;
+    m.cache.missPenaltyCycles = 10;
+    m.cache.uncachedCycles = 12;
+    m.writeBuffer = {1, 4, false, 4};
+
+    // CVAX on-chip translation buffer: 28 fully-associative entries,
+    // untagged (LDPCTX purges the per-process half), hardware-refilled
+    // from the linear VAX page tables.
+    m.tlb.entries = 28;
+    m.tlb.processIdTags = false;
+    m.tlb.management = TlbManagement::Hardware;
+    m.tlb.hwMissCycles = 22;
+    m.tlb.purgeEntryCycles = 25; // TBIS microcode
+    m.tlb.purgeAllCycles = 32;   // TBIA microcode
+    m.tlb.writeEntryCycles = 10;
+
+    // CHMK/REI microcode: kernel entry/exit is 4.5 us total (Table 5).
+    m.timing.trapEnterCycles = 28;
+    m.timing.trapReturnCycles = 22;
+    m.timing.ctrlRegCycles = 10; // MTPR/MFPR
+
+    m.appPerfVsCvax = 1.0;
+    return m;
+}
+
+MachineDesc
+make88000()
+{
+    MachineDesc m;
+    m.id = MachineId::M88000;
+    m.name = "88000";
+    m.system = "Tektronix XD88/01";
+    m.clock = Clock::fromMHz(20.0);
+
+    // Table 6: 32 registers, FP shares the general file, 27 misc words
+    // of exposed pipeline/scoreboard state.
+    m.intRegs = 32;
+    m.fpStateWords = 0;
+    m.miscStateWords = 27;
+
+    m.delaySlots = 1;
+    m.unfilledDelaySlotFraction = 0.3;
+    m.vectoring = TrapVectoring::DirectVectored;
+    m.hasAtomicOp = true; // xmem
+    m.providesFaultAddress = true;
+
+    // 5 exposed internal pipelines; the handler must read/restore ~27
+    // internal registers, and the FPU freezes on faults and must be
+    // drained before GPRs are safe (s3.1).
+    m.pipeline.exposed = true;
+    m.pipeline.stateRegs = 27;
+    m.pipeline.fpuFreezeHazard = true;
+    m.pipeline.preciseInterrupts = false;
+
+    // Off-chip M88200 CMMU: 16KB physical cache + 56-entry PATC.
+    m.cache.indexing = CacheIndexing::Physical;
+    m.cache.policy = WritePolicy::WriteThrough;
+    m.cache.sizeBytes = 16 * 1024;
+    m.cache.lineBytes = 16;
+    m.cache.missPenaltyCycles = 9;
+    m.cache.uncachedCycles = 10; // CMMU register access
+    m.writeBuffer = {3, 5, false, 5};
+
+    m.tlb.entries = 56;
+    m.tlb.processIdTags = false; // area pointers swapped, ATC flushed
+    m.tlb.management = TlbManagement::Hardware;
+    m.tlb.hwMissCycles = 25;
+    m.tlb.purgeEntryCycles = 10; // via CMMU control registers
+    m.tlb.purgeAllCycles = 40;
+    m.tlb.writeEntryCycles = 10;
+
+    m.timing.trapEnterCycles = 5;
+    m.timing.trapReturnCycles = 5;
+    m.timing.ctrlRegCycles = 2; // ldcr/stcr
+
+    m.appPerfVsCvax = 3.5; // Table 1 bottom row
+    return m;
+}
+
+MachineDesc
+makeR2000()
+{
+    MachineDesc m;
+    m.id = MachineId::R2000;
+    m.name = "R2000";
+    m.system = "DECstation 3100";
+    m.clock = Clock::fromMHz(16.67);
+
+    // Table 6: 32 registers, 32 FP words, 5 misc words.
+    m.intRegs = 32;
+    m.fpStateWords = 32;
+    m.miscStateWords = 5;
+
+    m.delaySlots = 1;
+    // "Nearly 50% of the delay slots in this code path are unfilled" s2.3.
+    m.unfilledDelaySlotFraction = 0.5;
+    m.vectoring = TrapVectoring::CommonHandler;
+    m.hasAtomicOp = false; // no interlocked instruction (s4.1)
+    m.providesFaultAddress = true;
+
+    // DECstation 3100: 64KB each I/D, physical, write-through, with a
+    // 4-deep write buffer that stalls 5 cycles per successive write
+    // once full (s2.3).
+    m.cache.indexing = CacheIndexing::Physical;
+    m.cache.policy = WritePolicy::WriteThrough;
+    m.cache.sizeBytes = 64 * 1024;
+    m.cache.lineBytes = 4;
+    m.cache.missPenaltyCycles = 6;
+    m.cache.uncachedCycles = 9;
+    m.writeBuffer = {4, 5, false, 5, true};
+
+    // 64-entry software-managed TLB with 6-bit ASIDs; separate fast
+    // user-miss vector, common handler for everything else.
+    m.tlb.entries = 64;
+    m.tlb.processIdTags = true;
+    m.tlb.pidCount = 64;
+    m.tlb.management = TlbManagement::Software;
+    m.tlb.swUserMissCycles = 12;   // utlbmiss fast path (s5)
+    m.tlb.swKernelMissCycles = 300; // "a few hundred cycles" (s5)
+    m.tlb.purgeEntryCycles = 6;
+    m.tlb.purgeAllCycles = 64 * 3;
+    m.tlb.writeEntryCycles = 4;
+    m.tlb.unmappedKernelSegment = true; // kseg0
+
+    m.timing.trapEnterCycles = 3;
+    m.timing.trapReturnCycles = 4; // jr + rfe in the delay slot
+
+    m.appPerfVsCvax = 4.2; // Table 1 bottom row
+    return m;
+}
+
+MachineDesc
+makeR3000()
+{
+    // Same ISA as the R2000 (the paper's Table 2 shares one column);
+    // the system differences are clock and the write buffer/memory.
+    MachineDesc m = makeR2000();
+    m.id = MachineId::R3000;
+    m.name = "R3000";
+    m.system = "DECstation 5000/200";
+    m.clock = Clock::fromMHz(25.0);
+
+    // 6-deep write buffer that retires one write per cycle when
+    // successive writes fall on the same page (s2.3).
+    m.writeBuffer = {6, 4, true, 1, false};
+    m.cache.missPenaltyCycles = 14; // deeper memory in cycles at 25 MHz
+    m.cache.lineBytes = 16;         // 4-word refill vs the 3100's 1
+
+    m.appPerfVsCvax = 6.7; // Table 1 bottom row
+    return m;
+}
+
+MachineDesc
+makeSparc()
+{
+    MachineDesc m;
+    m.id = MachineId::SPARC;
+    m.name = "SPARC";
+    m.system = "SPARCstation 1+";
+    m.clock = Clock::fromMHz(25.0);
+
+    // Table 6: 136 register words (8 windows x 16 + 8 globals),
+    // 32 FP words, 6 misc words.
+    m.intRegs = 136;
+    m.fpStateWords = 32;
+    m.miscStateWords = 6;
+
+    m.regWindows.windows = 8;
+    m.regWindows.regsPerWindow = 16;
+    m.regWindows.avgSaveRestorePerSwitch = 3.0; // [Kleiman & Williams 88]
+
+    m.delaySlots = 1;
+    m.unfilledDelaySlotFraction = 0.3;
+    m.vectoring = TrapVectoring::DirectVectored;
+    m.hasAtomicOp = true; // ldstub
+    m.providesFaultAddress = true;
+
+    // Sun-4c: 64KB virtually-addressed write-through cache with context
+    // tags (so no full flush on switch, but PTE changes must sweep the
+    // page's lines), shallow write pipeline.
+    m.cache.indexing = CacheIndexing::Virtual;
+    m.cache.policy = WritePolicy::WriteThrough;
+    m.cache.sizeBytes = 64 * 1024;
+    m.cache.lineBytes = 16;
+    m.cache.missPenaltyCycles = 12;
+    m.cache.uncachedCycles = 10;
+    m.cache.flushLineCycles = 5;
+    m.cache.flushOnContextSwitch = false; // context-tagged
+    m.writeBuffer = {1, 7, false, 7};
+
+    // SPARC Reference MMU (Cypress-style): hardware 3-level table walk,
+    // 64 entries, context-tagged, OS-lockable region (s3.2).
+    m.tlb.entries = 64;
+    m.tlb.processIdTags = true;
+    m.tlb.pidCount = 4096;
+    m.tlb.management = TlbManagement::Hardware;
+    m.tlb.hwMissCycles = 30; // 3-level walk
+    m.tlb.lockableEntries = 8;
+    m.tlb.purgeEntryCycles = 8;
+    m.tlb.purgeAllCycles = 48;
+    m.tlb.writeEntryCycles = 6;
+
+    m.timing.trapEnterCycles = 6; // window rotate + PSR save
+    m.timing.trapReturnCycles = 6; // jmpl + rett
+
+    m.appPerfVsCvax = 4.3; // Table 1 bottom row
+    return m;
+}
+
+MachineDesc
+makeI860()
+{
+    MachineDesc m;
+    m.id = MachineId::I860;
+    m.name = "i860";
+    m.system = "Intel i860 (estimated)";
+    m.clock = Clock::fromMHz(40.0);
+
+    // Table 6: 32 registers, 32 FP words, 9 misc words.
+    m.intRegs = 32;
+    m.fpStateWords = 32;
+    m.miscStateWords = 9;
+
+    m.delaySlots = 1;
+    m.unfilledDelaySlotFraction = 0.4;
+    m.vectoring = TrapVectoring::CommonHandler; // one handler for all
+    m.hasAtomicOp = true; // lock/unlock prefix, with restart hazards
+    m.providesFaultAddress = false; // handler interprets the instruction
+    m.pipeline.exposed = true;
+    m.pipeline.stateRegs = 9;
+    m.pipeline.fpuFreezeHazard = true;
+    m.pipeline.preciseInterrupts = false;
+
+    // On-chip 8KB data cache, virtually addressed, write-back, no
+    // process tags: PTE changes and context switches sweep it (s3.2).
+    m.cache.indexing = CacheIndexing::Virtual;
+    m.cache.policy = WritePolicy::WriteBack;
+    m.cache.sizeBytes = 8 * 1024;
+    m.cache.lineBytes = 32;
+    m.cache.missPenaltyCycles = 10;
+    m.cache.uncachedCycles = 10;
+    m.cache.flushLineCycles = 3;
+    m.cache.flushOnContextSwitch = true;
+    m.writeBuffer = {2, 4, false, 4};
+
+    m.tlb.entries = 64;
+    m.tlb.processIdTags = false;
+    m.tlb.management = TlbManagement::Hardware;
+    m.tlb.hwMissCycles = 24;
+    m.tlb.purgeEntryCycles = 8;
+    m.tlb.purgeAllCycles = 36; // dirbase reload flushes the TLB
+    m.tlb.writeEntryCycles = 8;
+
+    m.timing.trapEnterCycles = 5;
+    m.timing.trapReturnCycles = 6;
+
+    m.appPerfVsCvax = 7.0; // extrapolated; Table 1 gives no i860 row
+    m.appPerfExtrapolated = true;
+    return m;
+}
+
+MachineDesc
+makeRs6000()
+{
+    MachineDesc m;
+    m.id = MachineId::RS6000;
+    m.name = "RS6000";
+    m.system = "IBM RS/6000 (estimated)";
+    m.clock = Clock::fromMHz(25.0);
+
+    // Table 6: 32 registers, 64 FP words (32 x 64-bit), 4 misc words.
+    m.intRegs = 32;
+    m.fpStateWords = 64;
+    m.miscStateWords = 4;
+
+    m.delaySlots = 0;
+    m.vectoring = TrapVectoring::DirectVectored;
+    m.hasAtomicOp = true;
+    m.providesFaultAddress = true;
+    // Multiple pipelined units but precise interrupts (s3.1).
+    m.pipeline.preciseInterrupts = true;
+
+    m.cache.indexing = CacheIndexing::Physical;
+    m.cache.policy = WritePolicy::WriteBack;
+    m.cache.sizeBytes = 64 * 1024;
+    m.cache.lineBytes = 64;
+    m.cache.missPenaltyCycles = 14;
+    m.cache.uncachedCycles = 10;
+    m.writeBuffer = {4, 3, true, 1};
+
+    // Inverted page table walked by hardware, 128-entry TLB with tags.
+    m.tlb.entries = 128;
+    m.tlb.processIdTags = true;
+    m.tlb.pidCount = 512;
+    m.tlb.management = TlbManagement::Hardware;
+    m.tlb.hwMissCycles = 28;
+    m.tlb.purgeEntryCycles = 8;
+    m.tlb.purgeAllCycles = 64;
+    m.tlb.writeEntryCycles = 6;
+
+    m.timing.trapEnterCycles = 4;
+    m.timing.trapReturnCycles = 4;
+
+    m.appPerfVsCvax = 7.5; // extrapolated; not in Table 1
+    m.appPerfExtrapolated = true;
+    return m;
+}
+
+MachineDesc
+makeSun3()
+{
+    // Sun-3/75: 16.67 MHz MC68020, the previous-generation CISC
+    // workstation Ousterhout's Sprite measurement starts from (s2.1).
+    MachineDesc m;
+    m.id = MachineId::SUN3;
+    m.name = "Sun3";
+    m.system = "Sun-3/75 (s2.1 baseline)";
+    m.clock = Clock::fromMHz(16.67);
+
+    m.intRegs = 16; // 8 data + 8 address registers
+    m.fpStateWords = 0;
+    m.miscStateWords = 2;
+
+    m.delaySlots = 0;
+    m.vectoring = TrapVectoring::Microcoded; // 68020 exception stack
+    m.hasAtomicOp = true;                    // TAS/CAS
+    m.providesFaultAddress = true;
+    m.microcoded = true;
+
+    m.cache.indexing = CacheIndexing::Physical;
+    m.cache.policy = WritePolicy::WriteThrough;
+    m.cache.sizeBytes = 0x10000;
+    m.cache.lineBytes = 16;
+    m.cache.missPenaltyCycles = 8;
+    m.cache.uncachedCycles = 10;
+    m.writeBuffer = {1, 5, false, 5};
+
+    // Sun-3 MMU: segment/page maps in dedicated RAM, context-tagged.
+    m.tlb.entries = 64;
+    m.tlb.processIdTags = true;
+    m.tlb.pidCount = 8;
+    m.tlb.management = TlbManagement::Hardware;
+    m.tlb.hwMissCycles = 16;
+    m.tlb.purgeEntryCycles = 12;
+    m.tlb.purgeAllCycles = 40;
+    m.tlb.writeEntryCycles = 10;
+
+    m.timing.trapEnterCycles = 24; // exception-frame microcode
+    m.timing.trapReturnCycles = 20;
+    m.timing.ctrlRegCycles = 8;
+
+    // Sun-3/75 integer throughput is ~0.85x the CVAX, which makes the
+    // SPARCstation 1+ the paper's "factor of five" faster.
+    m.appPerfVsCvax = 0.85;
+    m.appPerfExtrapolated = true;
+    return m;
+}
+
+} // namespace
+
+MachineDesc
+makeMachine(MachineId id)
+{
+    switch (id) {
+      case MachineId::CVAX: return makeCvax();
+      case MachineId::M88000: return make88000();
+      case MachineId::R2000: return makeR2000();
+      case MachineId::R3000: return makeR3000();
+      case MachineId::SPARC: return makeSparc();
+      case MachineId::I860: return makeI860();
+      case MachineId::RS6000: return makeRs6000();
+      case MachineId::SUN3: return makeSun3();
+    }
+    panic("unknown machine id");
+}
+
+std::vector<MachineDesc>
+table1Machines()
+{
+    return {makeMachine(MachineId::CVAX), makeMachine(MachineId::M88000),
+            makeMachine(MachineId::R2000), makeMachine(MachineId::R3000),
+            makeMachine(MachineId::SPARC)};
+}
+
+std::vector<MachineDesc>
+table2Machines()
+{
+    return {makeMachine(MachineId::CVAX), makeMachine(MachineId::M88000),
+            makeMachine(MachineId::R2000), makeMachine(MachineId::SPARC),
+            makeMachine(MachineId::I860)};
+}
+
+std::vector<MachineDesc>
+table6Machines()
+{
+    return {makeMachine(MachineId::CVAX), makeMachine(MachineId::M88000),
+            makeMachine(MachineId::R2000), makeMachine(MachineId::SPARC),
+            makeMachine(MachineId::I860), makeMachine(MachineId::RS6000)};
+}
+
+std::vector<MachineDesc>
+allMachines()
+{
+    return {makeMachine(MachineId::CVAX),
+            makeMachine(MachineId::M88000),
+            makeMachine(MachineId::R2000),
+            makeMachine(MachineId::R3000),
+            makeMachine(MachineId::SPARC),
+            makeMachine(MachineId::I860),
+            makeMachine(MachineId::RS6000),
+            makeMachine(MachineId::SUN3)};
+}
+
+} // namespace aosd

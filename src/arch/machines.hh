@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Factory for the machine models the paper measures or estimates:
+ * CVAX (VAXstation 3200), Motorola 88000 (Tektronix XD88/01), MIPS R2000
+ * (DECstation 3100), MIPS R3000 (DECstation 5000/200), Sun SPARC
+ * (SPARCstation 1+), Intel i860, and IBM RS/6000.
+ */
+
+#ifndef AOSD_ARCH_MACHINES_HH
+#define AOSD_ARCH_MACHINES_HH
+
+#include <vector>
+
+#include "arch/machine_desc.hh"
+
+namespace aosd
+{
+
+/** Build the description for one machine. */
+MachineDesc makeMachine(MachineId id);
+
+/** The five machines with timing data in Table 1, in paper order. */
+std::vector<MachineDesc> table1Machines();
+
+/** The machines with instruction counts in Table 2 (adds the i860). */
+std::vector<MachineDesc> table2Machines();
+
+/** The machines with thread-state data in Table 6 (adds the RS6000). */
+std::vector<MachineDesc> table6Machines();
+
+/** Every machine model in the library. */
+std::vector<MachineDesc> allMachines();
+
+} // namespace aosd
+
+#endif // AOSD_ARCH_MACHINES_HH

@@ -1,0 +1,112 @@
+#include "core/study.hh"
+
+#include "arch/machines.hh"
+#include "cpu/primitive_costs.hh"
+#include "os/threads/thread.hh"
+#include "workload/app_profile.hh"
+
+namespace aosd
+{
+
+std::vector<PrimitiveResult>
+Study::primitives()
+{
+    const PrimitiveCostDb &db = sharedCostDb();
+    std::vector<PrimitiveResult> out;
+    for (const MachineDesc &m : allMachines()) {
+        for (Primitive p : allPrimitives) {
+            PrimitiveResult r;
+            r.machine = m.id;
+            r.machineName = m.name;
+            r.primitive = p;
+            r.simMicros = db.micros(m.id, p);
+            r.paperMicros = PaperPrimitiveData::microseconds(m.id, p);
+            r.simInstructions = db.instructions(m.id, p);
+            r.paperInstructions =
+                PaperPrimitiveData::instructionCount(m.id, p);
+            r.relativeToCvax = db.relativeToCvax(m.id, p);
+            out.push_back(r);
+        }
+    }
+    return out;
+}
+
+RpcBreakdown
+Study::srcRpc(MachineId m, std::uint32_t arg_bytes,
+              std::uint32_t result_bytes)
+{
+    SrcRpcModel model(sharedCostDb().machine(m));
+    return model.roundTrip(arg_bytes, result_bytes);
+}
+
+LrpcBreakdown
+Study::lrpc(MachineId m)
+{
+    LrpcModel model(sharedCostDb().machine(m));
+    return model.nullCall();
+}
+
+std::vector<SyscallPhaseResult>
+Study::syscallAnatomy()
+{
+    const PrimitiveCostDb &db = sharedCostDb();
+    const PhaseKind phases[] = {PhaseKind::KernelEntryExit,
+                                PhaseKind::CallPrep,
+                                PhaseKind::CCallReturn};
+    std::vector<SyscallPhaseResult> out;
+    for (const MachineDesc &m : allMachines()) {
+        const PrimitiveCost &cost =
+            db.cost(m.id, Primitive::NullSyscall);
+        for (PhaseKind ph : phases) {
+            SyscallPhaseResult r;
+            r.machine = m.id;
+            r.machineName = m.name;
+            r.phase = ph;
+            r.simMicros =
+                m.clock.cyclesToMicros(cost.detail.phaseCycles(ph));
+            r.paperMicros = PaperPrimitiveData::table5Micros(m.id, ph);
+            out.push_back(r);
+        }
+    }
+    return out;
+}
+
+std::vector<ThreadStateResult>
+Study::threadState()
+{
+    std::vector<ThreadStateResult> out;
+    for (const MachineDesc &m : table6Machines()) {
+        ThreadStateResult r;
+        r.machine = m.id;
+        r.machineName = m.name;
+        r.registers = m.intRegs;
+        r.fpState = m.fpStateWords;
+        r.miscState = m.miscStateWords;
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<Table7Row>
+Study::machStudy(MachineId m)
+{
+    const MachineDesc &machine = sharedCostDb().machine(m);
+    std::vector<Table7Row> rows;
+    for (OsStructure s :
+         {OsStructure::Monolithic, OsStructure::SmallKernel}) {
+        MachSystem system(machine, s);
+        for (const AppProfile &app : table7Workloads())
+            rows.push_back(system.run(app));
+    }
+    return rows;
+}
+
+Table7Row
+Study::machRow(const std::string &workload, OsStructure structure,
+               MachineId m)
+{
+    MachSystem system(sharedCostDb().machine(m), structure);
+    return system.run(workloadByName(workload));
+}
+
+} // namespace aosd

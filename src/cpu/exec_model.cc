@@ -1,0 +1,174 @@
+#include "cpu/exec_model.hh"
+
+#include "sim/logging.hh"
+
+namespace aosd
+{
+
+CycleBreakdown &
+CycleBreakdown::operator+=(const CycleBreakdown &o)
+{
+    base += o.base;
+    writeBufferStall += o.writeBufferStall;
+    cacheMissStall += o.cacheMissStall;
+    uncached += o.uncached;
+    ctrlReg += o.ctrlReg;
+    microcode += o.microcode;
+    tlbOps += o.tlbOps;
+    cacheMaintenance += o.cacheMaintenance;
+    trapHardware += o.trapHardware;
+    fpuSync += o.fpuSync;
+    return *this;
+}
+
+Cycles
+ExecResult::phaseCycles(PhaseKind kind) const
+{
+    for (const auto &p : phases)
+        if (p.kind == kind)
+            return p.cycles;
+    return 0;
+}
+
+ExecModel::ExecModel(const MachineDesc &machine)
+    : desc(machine), writeBuffer(machine.writeBuffer)
+{}
+
+Cycles
+ExecModel::chargeOp(const Op &op, Cycles now, CycleBreakdown &bd)
+{
+    switch (op.kind) {
+      case OpKind::Alu:
+      case OpKind::Nop:
+        bd.base += 1;
+        return 1;
+
+      case OpKind::Branch: {
+        Cycles c = 1 + desc.timing.branchPenaltyCycles;
+        bd.base += 1;
+        bd.trapHardware += desc.timing.branchPenaltyCycles;
+        return c;
+      }
+
+      case OpKind::Load: {
+        if (op.uncached) {
+            bd.uncached += desc.cache.uncachedCycles;
+            return desc.cache.uncachedCycles;
+        }
+        Cycles c = 1;
+        bd.base += 1;
+        if (desc.writeBuffer.readsWaitForDrain) {
+            Cycles wait = writeBuffer.drainTime(now);
+            c += wait;
+            bd.writeBufferStall += wait;
+        }
+        if (op.coldMiss) {
+            c += desc.cache.missPenaltyCycles;
+            bd.cacheMissStall += desc.cache.missPenaltyCycles;
+        }
+        return c;
+      }
+
+      case OpKind::Store: {
+        if (op.uncached) {
+            bd.uncached += desc.cache.uncachedCycles;
+            return desc.cache.uncachedCycles;
+        }
+        // The store itself issues in one cycle; it may stall waiting
+        // for a write buffer slot.
+        Cycles stall = writeBuffer.store(now + 1, op.samePage);
+        bd.base += 1;
+        bd.writeBufferStall += stall;
+        return 1 + stall;
+      }
+
+      case OpKind::TrapEnter:
+        bd.trapHardware += desc.timing.trapEnterCycles;
+        return desc.timing.trapEnterCycles;
+
+      case OpKind::TrapReturn:
+        bd.trapHardware += desc.timing.trapReturnCycles;
+        return desc.timing.trapReturnCycles;
+
+      case OpKind::CtrlRegRead:
+      case OpKind::CtrlRegWrite:
+        bd.ctrlReg += desc.timing.ctrlRegCycles;
+        return desc.timing.ctrlRegCycles;
+
+      case OpKind::TlbWrite:
+        bd.tlbOps += desc.tlb.writeEntryCycles;
+        return desc.tlb.writeEntryCycles;
+
+      case OpKind::TlbProbe:
+        bd.tlbOps += 3;
+        return 3;
+
+      case OpKind::TlbPurgeEntry:
+        bd.tlbOps += desc.tlb.purgeEntryCycles;
+        return desc.tlb.purgeEntryCycles;
+
+      case OpKind::TlbPurgeAll:
+        bd.tlbOps += desc.tlb.purgeAllCycles;
+        return desc.tlb.purgeAllCycles;
+
+      case OpKind::CacheFlushLine:
+        bd.cacheMaintenance += desc.cache.flushLineCycles;
+        return desc.cache.flushLineCycles;
+
+      case OpKind::CacheFlushAll: {
+        Cycles lines = desc.cache.sizeBytes / desc.cache.lineBytes;
+        Cycles c = lines * desc.cache.flushLineCycles;
+        bd.cacheMaintenance += c;
+        return c;
+      }
+
+      case OpKind::Microcoded:
+        bd.microcode += op.cycles;
+        return op.cycles;
+
+      case OpKind::AtomicOp:
+        // Interlocked ops bypass the cache and lock the bus.
+        bd.uncached += desc.cache.uncachedCycles;
+        return desc.cache.uncachedCycles;
+
+      case OpKind::FpuSync:
+        bd.fpuSync += op.cycles;
+        return op.cycles;
+    }
+    panic("unknown op kind");
+}
+
+PhaseResult
+ExecModel::runStream(const InstrStream &stream, Cycles start_cycle)
+{
+    PhaseResult result;
+    Cycles now = start_cycle;
+    for (const auto &op : stream.ops()) {
+        for (std::uint32_t i = 0; i < op.count; ++i)
+            now += chargeOp(op, now, result.breakdown);
+        if (op.countsAsInstr)
+            result.instructions += op.count;
+    }
+    result.cycles = now - start_cycle;
+    return result;
+}
+
+ExecResult
+ExecModel::run(const HandlerProgram &program)
+{
+    writeBuffer.reset();
+    ExecResult result;
+    Cycles now = 0;
+    for (const auto &phase : program.phases) {
+        PhaseResult pr = runStream(phase.code, now);
+        pr.kind = phase.kind;
+        now += pr.cycles;
+        result.instructions += pr.instructions;
+        result.breakdown += pr.breakdown;
+        result.phases.push_back(std::move(pr));
+    }
+    result.cycles = now;
+    return result;
+}
+
+} // namespace aosd

@@ -1,0 +1,802 @@
+#include "cpu/handlers.hh"
+
+#include "sim/logging.hh"
+
+/*
+ * Calibration notes
+ * -----------------
+ * Instruction budgets are Table 2 of the paper and are matched exactly:
+ *
+ *                      CVAX  88000  R2/3000  SPARC  i860
+ *   Null system call     12    122       84    128    86
+ *   Trap                 14    156      103    145   155
+ *   PTE change           11     24       36     15   559
+ *   Context switch        9     98      135    326   618
+ *
+ * Cycle targets are Table 1 times multiplied by each machine's clock.
+ * The mechanisms that close the gap between instruction count and cycle
+ * count are the ones the paper names:
+ *   - CVAX: CHMK/REI/CALLS/RET/SVPCTX/LDPCTX microcode.
+ *   - R2000 (DS3100): 4-deep write buffer stalling 5 cycles per
+ *     successive write when full (~30% of interrupt overhead), unfilled
+ *     delay slots (~13% of the null syscall), reads waiting on drains.
+ *   - R3000 (DS5000): 6-deep buffer retiring same-page writes 1/cycle.
+ *   - SPARC (SS1+): register-window save/restore traffic (~30% of the
+ *     null syscall; 12.8 us per window on context switch, ~70% of the
+ *     switch), extra parameter copies around the interposed trap frame,
+ *     shallow write pipeline, write-no-allocate cache making restores
+ *     miss.
+ *   - 88000: ~27 exposed pipeline/scoreboard registers read and
+ *     restored around every exception; FPU freeze/drain on faults;
+ *     CMMU (off-chip) access for MMU state.
+ *   - i860: single common vector, no faulting address (handler decodes
+ *     the faulting instruction: +26 instructions), pipeline
+ *     save/restore (60+ instructions), and virtual cache sweeps: 536
+ *     of the 559 PTE-change instructions flush the cache.
+ */
+
+namespace aosd
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------- CVAX
+
+HandlerProgram
+cvaxSyscall()
+{
+    HandlerProgram p{Primitive::NullSyscall, {}};
+
+    // CHMK microcode in, REI microcode out: 4.5 us of Table 5.
+    InstrStream entry;
+    entry.trapEnter(true);  // CHMK
+    entry.trapReturn();     // REI
+
+    // Dispatch from the SCB vector to the syscall code: a handful of
+    // VAX instructions, each several microcycles.
+    InstrStream prep;
+    prep.microcoded(8, 2).microcoded(10).microcoded(6);
+
+    // CALLS/RET do the C linkage in (expensive) microcode: 8.2 us.
+    InstrStream ccall;
+    ccall.microcoded(45); // CALLS
+    ccall.microcoded(40); // RET
+    ccall.microcoded(2, 4);
+
+    p.phases = {{PhaseKind::KernelEntryExit, entry},
+                {PhaseKind::CallPrep, prep},
+                {PhaseKind::CCallReturn, ccall}};
+    return p;
+}
+
+HandlerProgram
+cvaxTrap()
+{
+    HandlerProgram p{Primitive::Trap, {}};
+    InstrStream body;
+    body.trapEnter(false);       // memory-management fault microcode
+    body.microcoded(18, 2);      // read fault address / status IPRs
+    body.microcoded(8, 3);       // save volatile registers
+    body.microcoded(45);         // CALLS to the C handler
+    body.microcoded(40);         // RET
+    body.microcoded(8, 3);       // restore volatile registers
+    body.microcoded(15, 2);      // MTPRs re-arming translation state
+    body.microcoded(6);          // MOVL bookkeeping
+    body.trapReturn();           // REI
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+cvaxPteChange()
+{
+    HandlerProgram p{Primitive::PteChange, {}};
+    InstrStream body;
+    body.microcoded(6, 3);  // compute PTE address in the linear table
+    body.microcoded(6);     // fetch PTE
+    body.microcoded(4, 2);  // update protection bits
+    body.microcoded(6);     // store PTE
+    body.tlbPurgeEntry();   // TBIS
+    body.microcoded(10, 2); // MTPR / consistency checks
+    body.microcoded(12);    // RSB
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+cvaxContextSwitch()
+{
+    HandlerProgram p{Primitive::ContextSwitch, {}};
+    InstrStream body;
+    body.microcoded(100);  // SVPCTX: save process context
+    body.microcoded(8);    // fetch new PCB address
+    body.microcoded(12);   // MTPR PCBB
+    body.microcoded(150);  // LDPCTX: load context + purge process TB half
+    body.microcoded(6, 4); // queue/bookkeeping MOVLs
+    body.trapReturn();     // REI into the new context
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+// ------------------------------------------------------- MIPS R2/3000
+
+HandlerProgram
+mipsSyscall()
+{
+    HandlerProgram p{Primitive::NullSyscall, {}};
+
+    // Exception entry is cheap hardware; rfe/jr pair leaves.
+    InstrStream entry;
+    entry.trapEnter(false);
+    entry.alu(1).nop(1);
+    entry.trapReturn(); // jr k0; rfe (counted as one return op)
+
+    // Common-vector decode, k-reg setup, register save, then (after the
+    // C call) restore and exit path. ~50% of delay slots unfilled.
+    InstrStream prep;
+    prep.ctrlRead(3);       // mfc0 cause/epc/status
+    prep.branch(4);         // vector through the common handler
+    prep.alu(9);
+    prep.load(1);           // per-process kernel data
+    prep.store(16);         // save caller-saved + k registers
+    prep.nop(10);           // unfilled delay slots
+    prep.ctrlWrite(2);      // mtc0 status twiddling
+    prep.load(16);          // restore registers (waits on buffer drain
+                            // on the DS3100 memory interface)
+    prep.alu(0);
+
+    InstrStream ccall;
+    ccall.branch(1).nop(1); // jal + slot
+    ccall.store(3);         // prologue: ra/fp spill
+    ccall.alu(4);
+    ccall.alu(2);           // null body
+    ccall.load(3);          // epilogue
+    ccall.branch(1).nop(1); // jr ra + slot
+    ccall.alu(4);           // caller-side cleanup
+
+    p.phases = {{PhaseKind::KernelEntryExit, entry},
+                {PhaseKind::CallPrep, prep},
+                {PhaseKind::CCallReturn, ccall}};
+    return p;
+}
+
+HandlerProgram
+mipsTrap()
+{
+    HandlerProgram p{Primitive::Trap, {}};
+    InstrStream body;
+    body.trapEnter(false);
+    body.ctrlRead(5);   // cause, epc, badvaddr, status, context
+    body.branch(8);     // cause decode ladder
+    body.alu(14);
+    body.store(22);            // save every non-preserved register
+    body.store(8, false);      // user-state frame: different DRAM page
+    body.nop(12);              // unfilled delay slots
+    body.load(22);             // restore (drain-gated on the DS3100)
+    body.load(7);
+    body.load(1, true);        // fault bookkeeping structure, cold
+    body.ctrlWrite(3);
+    body.trapReturn();
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+mipsPteChange()
+{
+    HandlerProgram p{Primitive::PteChange, {}};
+    InstrStream body;
+    body.alu(8);          // hash/index the OS page table
+    body.load(1);         // fetch PTE
+    body.alu(4);          // update protection bits
+    body.store(1);
+    body.tlbProbe(1);     // tlbp
+    body.tlbPurgeEntry(1); // tlbwi of an invalid entry
+    body.ctrlWrite(4);    // entryhi/entrylo/index
+    body.branch(4);
+    body.nop(6);
+    body.alu(5);
+    body.branch(1);       // jr ra
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+mipsContextSwitch()
+{
+    HandlerProgram p{Primitive::ContextSwitch, {}};
+    InstrStream body;
+    body.ctrlRead(3);
+    body.alu(30);          // pcb bookkeeping, fp-owner check, priority
+    body.store(24);        // save s-regs, sp, ra, status, epc
+    body.ctrlWrite(2);     // switch ASID in EntryHi (tagged TLB: no purge)
+    body.alu(22);
+    body.load(20);         // restore context
+    body.load(4, true);    // new thread's stack/pcb lines are cold
+    body.branch(8);
+    body.nop(10);
+    body.ctrlWrite(1);
+    body.alu(10);
+    body.branch(1);        // jr into the new thread
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+// -------------------------------------------------------------- SPARC
+
+InstrStream
+sparcSaveSeqImpl()
+{
+    InstrStream s;
+    s.alu(3);      // window pointer arithmetic
+    s.store(16);   // spill one window
+    s.alu(3);      // WIM update
+    return s;
+}
+
+InstrStream
+sparcRestoreSeqImpl()
+{
+    InstrStream s;
+    s.alu(3);
+    s.load(16, true); // write-no-allocate cache: fills miss
+    s.alu(3);
+    return s;
+}
+
+HandlerProgram
+sparcSyscall()
+{
+    HandlerProgram p{Primitive::NullSyscall, {}};
+
+    InstrStream entry;
+    entry.trapEnter(false); // hardware window rotate + PSR save
+    entry.alu(2).branch(1);
+    entry.trapReturn();     // jmpl + rett
+
+    // Window management dominates call preparation (~30% of the call,
+    // s2.3), and parameters must be copied an extra time around the
+    // interposed trap-handler frame.
+    InstrStream prep;
+    prep.ctrlRead(2);            // rd %psr, rd %wim
+    prep.alu(6);
+    prep.branch(3);
+    prep.append(sparcSaveSeqImpl()); // ensure a frame for the callee
+    prep.load(6).store(6);       // extra parameter copy
+    prep.store(4);               // machine state save
+    prep.nop(6);
+    prep.alu(35);                // window pointer/state manipulation
+    prep.load(8, true);          // restore state (write-no-allocate)
+    prep.ctrlWrite(2);           // wr %psr / %wim
+    prep.alu(8);
+    prep.branch(2);
+
+    InstrStream ccall;
+    ccall.branch(2).nop(2);
+    ccall.alu(6);  // save/restore + linkage
+    ccall.store(2);
+    ccall.load(2);
+
+    p.phases = {{PhaseKind::KernelEntryExit, entry},
+                {PhaseKind::CallPrep, prep},
+                {PhaseKind::CCallReturn, ccall}};
+    return p;
+}
+
+HandlerProgram
+sparcTrap()
+{
+    HandlerProgram p{Primitive::Trap, {}};
+    InstrStream body;
+    body.trapEnter(false);
+    body.alu(4);
+    body.ctrlRead(3);
+    body.loadUncached(2);   // MMU synchronous fault status/address
+    body.branch(4);
+    body.append(sparcSaveSeqImpl());
+    body.store(8);          // trap frame
+    body.alu(30);
+    body.load(8, true);     // fault bookkeeping, cold
+    body.load(10);
+    body.ctrlWrite(3);
+    body.nop(8);
+    body.branch(4);
+    body.store(6);
+    body.load(6);
+    body.alu(26);
+    body.trapReturn();
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+sparcPteChange()
+{
+    HandlerProgram p{Primitive::PteChange, {}};
+    InstrStream body;
+    body.alu(6);
+    body.load(1);          // PTE from the 3-level table
+    body.store(1);
+    body.tlbPurgeEntry(1); // flush the TLB entry
+    body.ctrlWrite(2);
+    body.branch(2);
+    body.nop(2);
+    body.hwDelay(42);      // hardware page-granular cache flush assist
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+sparcContextSwitch(const MachineDesc &m)
+{
+    // Three windows spilled and three filled per switch on average
+    // [Kleiman & Williams 88]; each spill/fill pair costs ~12.8 us
+    // (70% of the total switch time).
+    HandlerProgram p{Primitive::ContextSwitch, {}};
+    InstrStream body;
+    int pairs = static_cast<int>(
+        m.regWindows.avgSaveRestorePerSwitch + 0.5);
+    for (int i = 0; i < pairs; ++i) {
+        body.trapEnter(false); // window overflow trap
+        body.append(sparcSaveSeqImpl());
+    }
+    body.ctrlRead(4);
+    body.store(12);  // globals + state
+    body.alu(60);
+    body.ctrlWrite(4); // context register: tagged TLB, no purge
+    body.alu(60);
+    body.load(12);
+    body.branch(12);
+    body.nop(30);
+    for (int i = 0; i < pairs; ++i) {
+        body.trapEnter(false); // window underflow trap
+        body.append(sparcRestoreSeqImpl());
+    }
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+// -------------------------------------------------------------- 88000
+
+HandlerProgram
+m88kSyscall()
+{
+    HandlerProgram p{Primitive::NullSyscall, {}};
+
+    InstrStream entry;
+    entry.trapEnter(false);
+    entry.alu(2).nop(1);
+    entry.trapReturn();
+
+    // Even a voluntary trap saves/restores a large subset of the
+    // exposed pipeline registers before C code may run.
+    InstrStream prep;
+    prep.ctrlRead(18); // ldcr of pipeline/scoreboard state
+    prep.store(18);    // spill it
+    prep.alu(16);
+    prep.branch(6);
+    prep.load(18);
+    prep.ctrlWrite(18); // stcr restore
+    prep.nop(8);
+
+    InstrStream ccall;
+    ccall.branch(2).nop(2);
+    ccall.store(6);
+    ccall.alu(2);
+    ccall.load(4);
+
+    p.phases = {{PhaseKind::KernelEntryExit, entry},
+                {PhaseKind::CallPrep, prep},
+                {PhaseKind::CCallReturn, ccall}};
+    return p;
+}
+
+HandlerProgram
+m88kTrap()
+{
+    HandlerProgram p{Primitive::Trap, {}};
+    InstrStream body;
+    body.trapEnter(false);
+    body.fpuSync(10);     // restart the frozen FP unit, wait for drain
+    // Full exposed-pipeline state: each control register is read and
+    // immediately spilled (read/store pairs give the drain a head
+    // start, unlike a straight 27-store burst).
+    for (int i = 0; i < 27; ++i) {
+        body.ctrlRead(1);
+        body.store(1);
+    }
+    body.loadUncached(2); // fault address/status from the CMMU
+    body.alu(17);
+    body.branch(8);
+    body.load(27);
+    body.ctrlWrite(27);
+    body.nop(12);
+    body.alu(8);
+    body.trapReturn();
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+m88kPteChange()
+{
+    HandlerProgram p{Primitive::PteChange, {}};
+    InstrStream body;
+    body.alu(9);
+    body.load(1);
+    body.store(1);
+    body.storeUncached(4); // CMMU probe/flush commands
+    body.loadUncached(2);  // CMMU status readback
+    body.branch(4);
+    body.nop(3);
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+m88kContextSwitch()
+{
+    HandlerProgram p{Primitive::ContextSwitch, {}};
+    InstrStream body;
+    body.ctrlRead(8);
+    body.store(32);        // full general register file
+    body.alu(9);
+    body.ctrlWrite(8);
+    body.load(12);
+    body.load(20, true);   // new context cold in the 16KB cache
+    body.storeUncached(2); // CMMU area pointer switch
+    body.tlbPurgeAll();    // untagged ATC
+    body.branch(4);
+    body.nop(2);
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+// --------------------------------------------------------------- i860
+
+HandlerProgram
+i860Syscall()
+{
+    HandlerProgram p{Primitive::NullSyscall, {}};
+
+    InstrStream entry;
+    entry.trapEnter(false);
+    entry.alu(2).nop(1);
+    entry.trapReturn();
+
+    InstrStream prep;
+    prep.ctrlRead(4);
+    prep.branch(6);   // single common vector: software decode
+    prep.alu(12);
+    prep.store(14);
+    prep.load(14);
+    prep.ctrlWrite(4);
+    prep.nop(12);
+
+    InstrStream ccall;
+    ccall.branch(2).nop(2);
+    ccall.store(4);
+    ccall.alu(4);
+    ccall.load(4);
+
+    p.phases = {{PhaseKind::KernelEntryExit, entry},
+                {PhaseKind::CallPrep, prep},
+                {PhaseKind::CCallReturn, ccall}};
+    return p;
+}
+
+HandlerProgram
+i860Trap()
+{
+    HandlerProgram p{Primitive::Trap, {}};
+    InstrStream body;
+    body.trapEnter(false);
+    body.fpuSync(16);   // save/restart the FP pipelines
+    body.store(30);     // pipeline state out (60+ instructions total
+    body.load(30);      //   with the reload, s3.1)
+    body.load(2);       // fetch the faulting instruction: the i860
+    body.alu(21);       //   reports no fault address, so the handler
+    body.branch(3);     //   interprets the instruction (+26 instrs)
+    body.ctrlRead(6);
+    body.ctrlWrite(6);
+    body.store(12);
+    body.load(12);
+    body.alu(20);
+    body.nop(12);
+    body.trapReturn();
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+i860PteChange()
+{
+    // 536 of the 559 instructions sweep the virtually-addressed cache
+    // (s3.2): a 134-iteration flush loop of 4 instructions each.
+    HandlerProgram p{Primitive::PteChange, {}};
+    InstrStream body;
+    body.alu(10);
+    body.load(1);
+    body.store(1);
+    body.tlbPurgeEntry(1);
+    body.ctrlWrite(4);
+    body.branch(3);
+    body.nop(3);
+    for (int i = 0; i < 134; ++i) {
+        body.cacheFlushLine(1);
+        body.alu(1);
+        body.branch(1);
+        body.nop(1);
+    }
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+i860ContextSwitch()
+{
+    // No process tags anywhere: the whole virtually-addressed cache is
+    // swept on every switch (cf. the high i860 count in Table 2).
+    HandlerProgram p{Primitive::ContextSwitch, {}};
+    InstrStream body;
+    body.ctrlRead(16);
+    body.ctrlWrite(16);
+    body.store(32);
+    body.load(32);
+    body.alu(10);
+    body.branch(8);
+    body.nop(7);
+    body.tlbPurgeAll(); // dirbase reload
+    for (int i = 0; i < 124; ++i) {
+        body.cacheFlushLine(1);
+        body.alu(1);
+        body.branch(1);
+        body.nop(1);
+    }
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+// ------------------------------------------------------------- RS6000
+//
+// The paper gives only thread-state sizes for the RS/6000 (Table 6).
+// These handlers are our extrapolation for the extension experiments:
+// direct vectoring, precise interrupts, no exposed pipeline, hardware
+// TLB with tags -- i.e. the "architectures can do better" case.
+
+HandlerProgram
+rs6kSyscall()
+{
+    HandlerProgram p{Primitive::NullSyscall, {}};
+    InstrStream entry;
+    entry.trapEnter(false);
+    entry.alu(2);
+    entry.trapReturn();
+    InstrStream prep;
+    prep.ctrlRead(3);
+    prep.store(12);
+    prep.alu(10);
+    prep.load(12);
+    prep.ctrlWrite(2);
+    prep.branch(4);
+    InstrStream ccall;
+    ccall.branch(2);
+    ccall.store(3);
+    ccall.alu(4);
+    ccall.load(3);
+    p.phases = {{PhaseKind::KernelEntryExit, entry},
+                {PhaseKind::CallPrep, prep},
+                {PhaseKind::CCallReturn, ccall}};
+    return p;
+}
+
+HandlerProgram
+rs6kTrap()
+{
+    HandlerProgram p{Primitive::Trap, {}};
+    InstrStream body;
+    body.trapEnter(false);
+    body.ctrlRead(4);
+    body.store(18);
+    body.alu(20);
+    body.branch(6);
+    body.load(18);
+    body.ctrlWrite(3);
+    body.alu(8);
+    body.trapReturn();
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+rs6kPteChange()
+{
+    HandlerProgram p{Primitive::PteChange, {}};
+    InstrStream body;
+    body.alu(8);       // hash into the inverted page table
+    body.load(2);
+    body.store(1);
+    body.tlbPurgeEntry(1); // tlbie
+    body.ctrlWrite(1);
+    body.branch(3);
+    body.alu(4);
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+rs6kContextSwitch()
+{
+    HandlerProgram p{Primitive::ContextSwitch, {}};
+    InstrStream body;
+    body.ctrlRead(4);
+    body.store(32);
+    body.alu(20);
+    body.ctrlWrite(4); // segment registers: tagged, no purge
+    body.load(26);
+    body.load(6, true);
+    body.branch(8);
+    body.alu(10);
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+// --------------------------------------------------------------- Sun-3
+//
+// MC68020 SunOS handlers (not in the paper's tables; the s2.1 Sprite
+// baseline). Microcoded exception frames, MOVEM register save/restore,
+// MMU maps written through control space.
+
+HandlerProgram
+sun3Syscall()
+{
+    // SunOS getpid-class syscall on a Sun-3/75 is ~50 us: heavyweight
+    // exception frames and u-area bookkeeping at 16.67 MHz.
+    HandlerProgram p{Primitive::NullSyscall, {}};
+    InstrStream entry;
+    entry.trapEnter(true); // TRAP #n, format-0 frame microcode
+    entry.trapReturn();    // RTE
+    InstrStream prep;
+    prep.microcoded(30, 16); // dispatch, u-area and sigmask juggling
+    InstrStream ccall;
+    ccall.microcoded(20);     // JSR
+    ccall.microcoded(18);     // RTS
+    ccall.microcoded(6, 16);  // MOVEM save/restore of scratch
+    ccall.microcoded(10, 12); // stack adjust, status rebuild
+    p.phases = {{PhaseKind::KernelEntryExit, entry},
+                {PhaseKind::CallPrep, prep},
+                {PhaseKind::CCallReturn, ccall}};
+    return p;
+}
+
+HandlerProgram
+sun3Trap()
+{
+    HandlerProgram p{Primitive::Trap, {}};
+    InstrStream body;
+    body.trapEnter(false);
+    body.hwDelay(200);       // 68020 bus-error frame (dozens of words)
+    body.microcoded(15, 20); // frame parse, fault address extraction
+    body.microcoded(20);     // JSR to the C handler
+    body.microcoded(18);     // RTS
+    body.microcoded(15, 20); // frame rebuild for the retry
+    body.microcoded(10, 30); // u-area/signal bookkeeping
+    body.trapReturn();       // RTE
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+sun3PteChange()
+{
+    HandlerProgram p{Primitive::PteChange, {}};
+    InstrStream body;
+    body.microcoded(12, 16); // locate the segment/page map slot
+    body.storeUncached(4);   // MMU map writes through control space
+    body.tlbPurgeEntry(1);
+    body.microcoded(12, 12);
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+HandlerProgram
+sun3ContextSwitch()
+{
+    HandlerProgram p{Primitive::ContextSwitch, {}};
+    InstrStream body;
+    body.microcoded(6, 16);  // MOVEM save
+    body.microcoded(15, 40); // pcb/u-area bookkeeping out
+    body.storeUncached(1);   // context register (tagged maps: no purge)
+    body.microcoded(15, 40); // pcb/u-area bookkeeping in
+    body.microcoded(6, 16);  // MOVEM restore
+    body.microcoded(12, 30); // stack/usp/status juggling
+    body.trapReturn();
+    p.phases = {{PhaseKind::Body, body}};
+    return p;
+}
+
+} // namespace
+
+InstrStream
+sparcWindowSaveSeq(const MachineDesc &machine)
+{
+    if (machine.regWindows.windows == 0)
+        panic("%s has no register windows", machine.name.c_str());
+    return sparcSaveSeqImpl();
+}
+
+InstrStream
+sparcWindowRestoreSeq(const MachineDesc &machine)
+{
+    if (machine.regWindows.windows == 0)
+        panic("%s has no register windows", machine.name.c_str());
+    return sparcRestoreSeqImpl();
+}
+
+HandlerProgram
+buildHandler(const MachineDesc &machine, Primitive prim)
+{
+    switch (machine.id) {
+      case MachineId::CVAX:
+        switch (prim) {
+          case Primitive::NullSyscall: return cvaxSyscall();
+          case Primitive::Trap: return cvaxTrap();
+          case Primitive::PteChange: return cvaxPteChange();
+          case Primitive::ContextSwitch: return cvaxContextSwitch();
+        }
+        break;
+      case MachineId::R2000:
+      case MachineId::R3000:
+        switch (prim) {
+          case Primitive::NullSyscall: return mipsSyscall();
+          case Primitive::Trap: return mipsTrap();
+          case Primitive::PteChange: return mipsPteChange();
+          case Primitive::ContextSwitch: return mipsContextSwitch();
+        }
+        break;
+      case MachineId::SPARC:
+        switch (prim) {
+          case Primitive::NullSyscall: return sparcSyscall();
+          case Primitive::Trap: return sparcTrap();
+          case Primitive::PteChange: return sparcPteChange();
+          case Primitive::ContextSwitch: return sparcContextSwitch(machine);
+        }
+        break;
+      case MachineId::M88000:
+        switch (prim) {
+          case Primitive::NullSyscall: return m88kSyscall();
+          case Primitive::Trap: return m88kTrap();
+          case Primitive::PteChange: return m88kPteChange();
+          case Primitive::ContextSwitch: return m88kContextSwitch();
+        }
+        break;
+      case MachineId::I860:
+        switch (prim) {
+          case Primitive::NullSyscall: return i860Syscall();
+          case Primitive::Trap: return i860Trap();
+          case Primitive::PteChange: return i860PteChange();
+          case Primitive::ContextSwitch: return i860ContextSwitch();
+        }
+        break;
+      case MachineId::RS6000:
+        switch (prim) {
+          case Primitive::NullSyscall: return rs6kSyscall();
+          case Primitive::Trap: return rs6kTrap();
+          case Primitive::PteChange: return rs6kPteChange();
+          case Primitive::ContextSwitch: return rs6kContextSwitch();
+        }
+        break;
+      case MachineId::SUN3:
+        switch (prim) {
+          case Primitive::NullSyscall: return sun3Syscall();
+          case Primitive::Trap: return sun3Trap();
+          case Primitive::PteChange: return sun3PteChange();
+          case Primitive::ContextSwitch: return sun3ContextSwitch();
+        }
+        break;
+    }
+    panic("no handler for machine/primitive");
+}
+
+} // namespace aosd

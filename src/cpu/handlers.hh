@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Per-architecture handler programs for the four primitive OS operations
+ * of Tables 1, 2 and 5.
+ *
+ * Each builder reconstructs the authors' hand-optimized assembler driver
+ * for one machine as an InstrStream of micro-ops. The dynamic instruction
+ * counts match Table 2 exactly (asserted by tests); cycle behaviour then
+ * emerges from the execution model's memory-system state. Free parameters
+ * (register save counts, op mixes) were chosen from the paper's prose:
+ * see the comments on each builder.
+ */
+
+#ifndef AOSD_CPU_HANDLERS_HH
+#define AOSD_CPU_HANDLERS_HH
+
+#include "arch/isa.hh"
+#include "arch/machine_desc.hh"
+
+namespace aosd
+{
+
+/** Build the handler program for `prim` on `machine`. */
+HandlerProgram buildHandler(const MachineDesc &machine, Primitive prim);
+
+/**
+ * SPARC register-window spill sequence: pointer arithmetic plus 16
+ * stores plus WIM bookkeeping (used inside syscall prep and context
+ * switch; also reused by the user-level threads analysis in §4.1).
+ */
+InstrStream sparcWindowSaveSeq(const MachineDesc &machine);
+
+/** SPARC register-window fill sequence (loads are cache-cold: the
+ *  window memory was last touched by write-no-allocate stores). */
+InstrStream sparcWindowRestoreSeq(const MachineDesc &machine);
+
+} // namespace aosd
+
+#endif // AOSD_CPU_HANDLERS_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * PrimitiveCostDb: the Table 1/2/5 engine.
+ *
+ * Runs every machine's handler programs through the execution model and
+ * caches the results. The OS substrate (kernel, IPC, threads, workload
+ * runner) charges primitive costs from here, so every higher-level
+ * number in the reproduction traces back to the simulated handlers.
+ */
+
+#ifndef AOSD_CPU_PRIMITIVE_COSTS_HH
+#define AOSD_CPU_PRIMITIVE_COSTS_HH
+
+#include <map>
+#include <vector>
+
+#include "arch/isa.hh"
+#include "arch/machine_desc.hh"
+#include "cpu/exec_model.hh"
+
+namespace aosd
+{
+
+/** Cost of one primitive on one machine. */
+struct PrimitiveCost
+{
+    MachineId machine;
+    Primitive primitive;
+    Cycles cycles = 0;
+    std::uint64_t instructions = 0;
+    double micros = 0.0;
+    ExecResult detail;
+};
+
+/**
+ * Caches simulated costs of the four primitives on every machine.
+ * Construction simulates everything eagerly (it is cheap).
+ */
+class PrimitiveCostDb
+{
+  public:
+    PrimitiveCostDb();
+
+    /** Full result for one machine/primitive pair. */
+    const PrimitiveCost &cost(MachineId m, Primitive p) const;
+
+    /** Simulated time in microseconds. */
+    double micros(MachineId m, Primitive p) const;
+
+    /** Simulated time in cycles on that machine. */
+    Cycles cycles(MachineId m, Primitive p) const;
+
+    /** Dynamic instruction count (Table 2). */
+    std::uint64_t instructions(MachineId m, Primitive p) const;
+
+    /** Relative speed vs the CVAX (Table 1 right half):
+     *  cvax_time / machine_time. */
+    double relativeToCvax(MachineId m, Primitive p) const;
+
+    /** Machine description used for the simulation. */
+    const MachineDesc &machine(MachineId m) const;
+
+  private:
+    std::map<MachineId, MachineDesc> machines;
+    std::map<std::pair<MachineId, Primitive>, PrimitiveCost> costs;
+};
+
+/** Shared, lazily-constructed cost database (simulation is
+ *  deterministic, so sharing one instance is safe). */
+const PrimitiveCostDb &sharedCostDb();
+
+/** Paper values (Tables 1 and 2) for comparison in tests and benches. */
+struct PaperPrimitiveData
+{
+    /** Time in microseconds from Table 1; <0 when the paper gives none. */
+    static double microseconds(MachineId m, Primitive p);
+    /** Instruction count from Table 2; 0 when the paper gives none. */
+    static std::uint64_t instructionCount(MachineId m, Primitive p);
+    /** Table 5 phase times (us) for the null syscall; <0 if absent. */
+    static double table5Micros(MachineId m, PhaseKind phase);
+};
+
+} // namespace aosd
+
+#endif // AOSD_CPU_PRIMITIVE_COSTS_HH

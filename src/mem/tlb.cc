@@ -1,0 +1,142 @@
+#include "mem/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace aosd
+{
+
+Tlb::Tlb(const TlbDesc &d) : desc(d), entries(d.entries)
+{
+    if (d.entries == 0)
+        fatal("TLB must have at least one entry");
+}
+
+Tlb::Entry *
+Tlb::find(Vpn vpn, Asid asid)
+{
+    for (auto &e : entries) {
+        if (!e.valid || e.vpn != vpn)
+            continue;
+        if (desc.processIdTags && e.asid != asid)
+            continue;
+        return &e;
+    }
+    return nullptr;
+}
+
+Tlb::Entry &
+Tlb::victim()
+{
+    // Prefer an invalid entry; otherwise LRU among unlocked entries.
+    Entry *best = nullptr;
+    for (auto &e : entries) {
+        if (e.locked)
+            continue;
+        if (!e.valid)
+            return e;
+        if (!best || e.lastUse < best->lastUse)
+            best = &e;
+    }
+    if (!best)
+        panic("all TLB entries locked");
+    return *best;
+}
+
+TlbLookup
+Tlb::lookup(Vpn vpn, Asid asid, bool kernel_space)
+{
+    statGroup.inc("lookups");
+    if (Entry *e = find(vpn, asid)) {
+        e->lastUse = ++useClock;
+        statGroup.inc("hits");
+        return {true, e->pfn, e->prot, 0};
+    }
+    statGroup.inc("misses");
+    statGroup.inc(kernel_space ? "kernel_misses" : "user_misses");
+    Cycles cost;
+    if (desc.management == TlbManagement::Hardware) {
+        cost = desc.hwMissCycles;
+    } else {
+        cost = kernel_space ? desc.swKernelMissCycles
+                            : desc.swUserMissCycles;
+    }
+    return {false, 0, {}, cost};
+}
+
+void
+Tlb::insert(Vpn vpn, Asid asid, Pfn pfn, PageProt prot, bool locked)
+{
+    Entry *e = find(vpn, asid);
+    if (!e)
+        e = &victim();
+    if (locked && desc.lockableEntries == 0)
+        fatal("TLB does not support locked entries");
+    e->valid = true;
+    e->locked = locked;
+    e->vpn = vpn;
+    e->asid = desc.processIdTags ? asid : 0;
+    e->pfn = pfn;
+    e->prot = prot;
+    e->lastUse = ++useClock;
+    statGroup.inc("inserts");
+}
+
+void
+Tlb::invalidate(Vpn vpn, Asid asid)
+{
+    if (Entry *e = find(vpn, asid)) {
+        e->valid = false;
+        e->locked = false;
+        statGroup.inc("entry_purges");
+    }
+}
+
+void
+Tlb::invalidateAll()
+{
+    for (auto &e : entries) {
+        e.valid = false;
+        e.locked = false;
+    }
+    statGroup.inc("full_purges");
+}
+
+void
+Tlb::invalidateAsid(Asid asid)
+{
+    for (auto &e : entries)
+        if (e.valid && e.asid == asid) {
+            e.valid = false;
+            e.locked = false;
+        }
+    statGroup.inc("asid_purges");
+}
+
+Cycles
+Tlb::switchContext()
+{
+    if (desc.processIdTags)
+        return 0;
+    invalidateAll();
+    return desc.purgeAllCycles;
+}
+
+std::size_t
+Tlb::validEntries() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries)
+        n += e.valid;
+    return n;
+}
+
+std::size_t
+Tlb::entriesForAsid(Asid asid) const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries)
+        n += e.valid && e.asid == asid;
+    return n;
+}
+
+} // namespace aosd

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Functional + timing TLB model.
+ *
+ * Section 3.2 of the paper turns on TLB structure: tagged vs untagged
+ * entries (purge-on-switch), software vs hardware refill (MIPS's fast
+ * user vector vs slow kernel path), lockable entries (SPARC/Cypress),
+ * and the pressure a kernelized OS puts on a fixed-size TLB. This model
+ * supports all of those and is used by the LRPC simulator (Table 4) and
+ * the Mach workload engine (Table 7).
+ */
+
+#ifndef AOSD_MEM_TLB_HH
+#define AOSD_MEM_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/machine_desc.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+/** Virtual page number. */
+using Vpn = std::uint64_t;
+/** Physical frame number. */
+using Pfn = std::uint64_t;
+/** Address space identifier (TLB tag). */
+using Asid = std::uint32_t;
+
+/** Page protection bits. */
+struct PageProt
+{
+    bool readable = true;
+    bool writable = false;
+    bool userAccessible = true;
+
+    bool
+    operator==(const PageProt &) const = default;
+};
+
+/** Result of a TLB lookup. */
+struct TlbLookup
+{
+    bool hit = false;
+    Pfn pfn = 0;
+    PageProt prot;
+    /** Cycles the lookup cost (0 on a hit; refill cost on a miss —
+     *  charged by the caller once the refill source is known). */
+    Cycles missCycles = 0;
+};
+
+/**
+ * Set of translations with LRU replacement over unlocked entries.
+ * When the machine has no process-ID tags every entry belongs to the
+ * single implicit context and switchContext() purges.
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbDesc &d);
+
+    /** Probe for (vpn, asid); updates recency on hit.
+     *  @param kernel_space  the reference is to mapped kernel space
+     *  (selects the software-refill cost on sw-managed TLBs). */
+    TlbLookup lookup(Vpn vpn, Asid asid, bool kernel_space = false);
+
+    /** Insert or replace a translation. */
+    void insert(Vpn vpn, Asid asid, Pfn pfn, PageProt prot,
+                bool locked = false);
+
+    /** Invalidate a single translation if present. */
+    void invalidate(Vpn vpn, Asid asid);
+
+    /** Invalidate everything (untagged context switch, TBIA). */
+    void invalidateAll();
+
+    /** Invalidate all entries of one address space. */
+    void invalidateAsid(Asid asid);
+
+    /** Model a context switch: purges if untagged. Returns the purge
+     *  cost in cycles (0 for tagged TLBs). */
+    Cycles switchContext();
+
+    /** Number of currently valid entries. */
+    std::size_t validEntries() const;
+
+    /** Number of valid entries tagged with `asid`. */
+    std::size_t entriesForAsid(Asid asid) const;
+
+    const TlbDesc &config() const { return desc; }
+    const StatGroup &stats() const { return statGroup; }
+    void resetStats() { statGroup.reset(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool locked = false;
+        Vpn vpn = 0;
+        Asid asid = 0;
+        Pfn pfn = 0;
+        PageProt prot;
+        std::uint64_t lastUse = 0;
+    };
+
+    Entry *find(Vpn vpn, Asid asid);
+    Entry &victim();
+
+    TlbDesc desc;
+    std::vector<Entry> entries;
+    std::uint64_t useClock = 0;
+    StatGroup statGroup{"tlb"};
+};
+
+} // namespace aosd
+
+#endif // AOSD_MEM_TLB_HH

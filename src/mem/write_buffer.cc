@@ -1,0 +1,58 @@
+#include "mem/write_buffer.hh"
+
+#include <algorithm>
+
+namespace aosd
+{
+
+void
+WriteBuffer::drain(Cycles now)
+{
+    while (!pending.empty() && pending.front() <= now)
+        pending.pop_front();
+}
+
+Cycles
+WriteBuffer::store(Cycles now, bool same_page)
+{
+    drain(now);
+
+    std::uint32_t depth = std::max<std::uint32_t>(desc.depth, 1);
+
+    Cycles stall = 0;
+    if (pending.size() >= depth) {
+        // Buffer full: wait for the oldest write to retire.
+        stall = pending.front() - now;
+        now = pending.front();
+        pending.pop_front();
+    }
+
+    // The new write starts retiring once it reaches the head; memory is
+    // busy until the entry queued before it finishes.
+    Cycles start = pending.empty() ? now : std::max(now, pending.back());
+    Cycles cost = (desc.samePageFastRetire && same_page)
+                      ? desc.samePageDrainCycles
+                      : desc.drainCycles;
+    pending.push_back(start + cost);
+    return stall;
+}
+
+Cycles
+WriteBuffer::drainTime(Cycles now) const
+{
+    if (pending.empty() || pending.back() <= now)
+        return 0;
+    return pending.back() - now;
+}
+
+std::size_t
+WriteBuffer::occupancy(Cycles now) const
+{
+    std::size_t n = 0;
+    for (Cycles c : pending)
+        if (c > now)
+            ++n;
+    return n;
+}
+
+} // namespace aosd

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Write buffer timing model.
+ *
+ * Section 2.3 of the paper traces a large share of trap/syscall overhead
+ * to write buffer behaviour: the DECstation 3100's 4-deep write-through
+ * buffer stalls 5 cycles on every successive write once full (~30% of
+ * interrupt overhead), while the DECstation 5000's 6-deep buffer retires
+ * one write per cycle when successive writes hit the same DRAM page, as
+ * they do in register-save sequences. This model reproduces both.
+ */
+
+#ifndef AOSD_MEM_WRITE_BUFFER_HH
+#define AOSD_MEM_WRITE_BUFFER_HH
+
+#include <deque>
+
+#include "arch/machine_desc.hh"
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+/**
+ * FIFO of pending writes, each with a completion cycle. Stores stall the
+ * processor only when the buffer is full; entries retire in order at the
+ * memory system's drain rate.
+ */
+class WriteBuffer
+{
+  public:
+    explicit WriteBuffer(const WriteBufferDesc &d) : desc(d) {}
+
+    /**
+     * Issue a store at processor cycle `now` (the cycle the store would
+     * complete absent stalls).
+     *
+     * @param now       current accumulated cycle count
+     * @param same_page store falls on the same DRAM page as the previous
+     * @return stall cycles the processor must wait before the store can
+     *         enter the buffer
+     */
+    Cycles store(Cycles now, bool same_page);
+
+    /** Cycles until the buffer is empty, measured from `now`. */
+    Cycles drainTime(Cycles now) const;
+
+    /** Entries still pending at cycle `now`. */
+    std::size_t occupancy(Cycles now) const;
+
+    /** Forget all pending writes (new measurement run). */
+    void reset() { pending.clear(); }
+
+    const WriteBufferDesc &config() const { return desc; }
+
+  private:
+    /** Drop entries whose writes have completed by `now`. */
+    void drain(Cycles now);
+
+    WriteBufferDesc desc;
+    /** Completion cycles of pending writes, oldest first. */
+    std::deque<Cycles> pending;
+};
+
+} // namespace aosd
+
+#endif // AOSD_MEM_WRITE_BUFFER_HH

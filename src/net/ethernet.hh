@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ethernet wire and controller model.
+ *
+ * The cross-machine RPC analysis (§2.1, Table 3) needs a 10 Mbit/s
+ * Ethernet: per-packet wire time (headers + preamble + payload),
+ * controller DMA latency, and the interrupts each packet raises.
+ * Bandwidth is parameterized so the §2.1 "10- to 100-fold network
+ * improvements" sweep (ablation A6) can vary it.
+ */
+
+#ifndef AOSD_NET_ETHERNET_HH
+#define AOSD_NET_ETHERNET_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+/** Link and controller parameters. */
+struct EthernetDesc
+{
+    /** Link bandwidth in megabits per second. */
+    double mbps = 10.0;
+    /** Per-packet framing overhead: preamble + MAC header + CRC +
+     *  inter-frame gap, expressed in byte times. */
+    std::uint32_t framingBytes = 34;
+    /** Controller latency per packet (DMA setup + FIFO), microseconds. */
+    double controllerLatencyUs = 25.0;
+    /** Interrupts raised per packet at the receiver. */
+    std::uint32_t interruptsPerPacket = 1;
+};
+
+/** A network frame. */
+struct Packet
+{
+    std::uint32_t payloadBytes = 0;
+    std::uint32_t srcNode = 0;
+    std::uint32_t dstNode = 0;
+    std::uint64_t id = 0;
+};
+
+/** Stateless timing helper for one link. */
+class Ethernet
+{
+  public:
+    explicit Ethernet(const EthernetDesc &d) : desc(d) {}
+
+    /** Time the frame occupies the wire. */
+    Tick
+    wireTime(std::uint32_t payload_bytes) const
+    {
+        double bits =
+            static_cast<double>(payload_bytes + desc.framingBytes) * 8.0;
+        double us = bits / desc.mbps; // Mbit/s -> bits/us
+        return static_cast<Tick>(us * ticksPerMicrosecond);
+    }
+
+    double
+    wireTimeUs(std::uint32_t payload_bytes) const
+    {
+        return static_cast<double>(wireTime(payload_bytes)) /
+               ticksPerMicrosecond;
+    }
+
+    Tick
+    controllerTime() const
+    {
+        return static_cast<Tick>(desc.controllerLatencyUs *
+                                 ticksPerMicrosecond);
+    }
+
+    const EthernetDesc &config() const { return desc; }
+
+  private:
+    EthernetDesc desc;
+};
+
+} // namespace aosd
+
+#endif // AOSD_NET_ETHERNET_HH

@@ -1,0 +1,45 @@
+#include "os/ipc/message.hh"
+
+#include "mem/cache.hh"
+
+namespace aosd
+{
+
+bool
+usesUncachedIoBuffers(const MachineDesc &machine)
+{
+    switch (machine.id) {
+      case MachineId::R2000:
+      case MachineId::R3000:
+      case MachineId::I860:
+        return true; // kseg1-style uncached I/O segments
+      default:
+        return false;
+    }
+}
+
+Cycles
+checksumCycles(const MachineDesc &machine, std::uint64_t bytes)
+{
+    std::uint64_t words = (bytes + 3) / 4;
+    Cycles per_word;
+    if (usesUncachedIoBuffers(machine)) {
+        per_word = machine.cache.uncachedCycles + 2; // load + add/loop
+    } else {
+        std::uint32_t words_per_line =
+            std::max<std::uint32_t>(machine.cache.lineBytes / 4, 1);
+        // Streaming read: one miss per line amortized over its words.
+        per_word = 1 + 2 +
+                   machine.cache.missPenaltyCycles / words_per_line;
+    }
+    return words * per_word;
+}
+
+Cycles
+marshalCycles(const MachineDesc &machine, std::uint64_t bytes,
+              std::uint64_t fixed_instructions)
+{
+    return copyCycles(machine, bytes) + fixed_instructions;
+}
+
+} // namespace aosd

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Message-level cost helpers shared by the RPC and LRPC models:
+ * marshaling (parameter copying) and checksum computation (§2.1, §2.4).
+ */
+
+#ifndef AOSD_OS_IPC_MESSAGE_HH
+#define AOSD_OS_IPC_MESSAGE_HH
+
+#include <cstdint>
+
+#include "arch/machine_desc.hh"
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+/**
+ * Cycles to checksum `bytes` of a packet buffer: one load plus adds per
+ * 32-bit word. On machines whose I/O buffers sit in an uncached segment
+ * (MIPS kseg1, i860) each load pays the uncached access; elsewhere the
+ * buffer streams through the cache, missing once per line (§2.1: "each
+ * checksum addition is paired with a load (which on some RISCs will
+ * likely fetch from a non-cached I/O buffer)").
+ */
+Cycles checksumCycles(const MachineDesc &machine, std::uint64_t bytes);
+
+/** Whether this machine's network buffers live in uncached space. */
+bool usesUncachedIoBuffers(const MachineDesc &machine);
+
+/**
+ * Cycles to marshal `bytes` of parameters into a message (one copy
+ * through the memory system; see copyCycles in mem/cache.hh) plus
+ * fixed stub bookkeeping of `fixed_instructions`.
+ */
+Cycles marshalCycles(const MachineDesc &machine, std::uint64_t bytes,
+                     std::uint64_t fixed_instructions);
+
+} // namespace aosd
+
+#endif // AOSD_OS_IPC_MESSAGE_HH

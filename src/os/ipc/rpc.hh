@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SRC-style cross-machine RPC model (Table 3, §2.1).
+ *
+ * A round-trip null RPC decomposes into: client/server stubs
+ * (marshaling), kernel transfer (system calls + thread blocking context
+ * switches), interrupt processing at both ends, checksum computation,
+ * controller/DMA latency, and wire time. Every CPU-side component is
+ * priced from the simulated primitives of the target machine, so the
+ * paper's observation — CPU overhead, not the network, dominates; and
+ * the CPU components fail to scale with integer performance — emerges
+ * from the same mechanisms as Table 1.
+ */
+
+#ifndef AOSD_OS_IPC_RPC_HH
+#define AOSD_OS_IPC_RPC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/machine_desc.hh"
+#include "net/ethernet.hh"
+
+namespace aosd
+{
+
+/** Time distribution of one round-trip RPC, in microseconds. */
+struct RpcBreakdown
+{
+    double clientStubUs = 0;
+    double serverStubUs = 0;
+    double kernelTransferUs = 0; ///< syscalls + blocking switches
+    double interruptUs = 0;
+    double checksumUs = 0;
+    double copyUs = 0;           ///< marshaling byte copies
+    double dispatchUs = 0;       ///< server thread wakeup/dispatch
+    double controllerUs = 0;     ///< DMA/FIFO latency
+    double wireUs = 0;
+
+    double totalUs() const;
+    /** Share of a component, in percent of the total. */
+    double percent(double component_us) const;
+    /** CPU-side time (everything but wire + controller). */
+    double cpuUs() const;
+};
+
+/** Configuration of the RPC system being modelled. */
+struct RpcConfig
+{
+    EthernetDesc link;
+    /** Header bytes the RPC protocol adds inside the payload. */
+    std::uint32_t protocolHeaderBytes = 0;
+    /** Fixed stub instructions, client / server side. */
+    std::uint64_t clientStubInstructions = 220;
+    std::uint64_t serverStubInstructions = 180;
+    /** System calls per round trip (send + receive, both sides). */
+    std::uint32_t syscallsPerRoundTrip = 4;
+    /** Blocking context switches per round trip. */
+    std::uint32_t contextSwitchesPerRoundTrip = 4;
+    /** Interrupt-handler body instructions (beyond the trap itself). */
+    std::uint64_t interruptHandlerInstructions = 150;
+    /** Uncached device-register accesses in the interrupt handler. */
+    std::uint32_t interruptDeviceAccesses = 12;
+    /** Scheduler instructions to wake and dispatch the server thread. */
+    std::uint64_t dispatchInstructions = 260;
+    /** Checksum passes per packet (sender computes, receiver checks). */
+    std::uint32_t checksumPassesPerPacket = 2;
+    /** Copies of each argument/result buffer (user->kernel->wire). */
+    std::uint32_t copiesPerTransfer = 2;
+};
+
+/** SRC RPC on one machine type (both ends identical, as on Fireflies). */
+class SrcRpcModel
+{
+  public:
+    explicit SrcRpcModel(const MachineDesc &machine,
+                         RpcConfig config = {});
+
+    /** Round-trip RPC with the given argument/result payloads. */
+    RpcBreakdown roundTrip(std::uint32_t arg_bytes,
+                           std::uint32_t result_bytes) const;
+
+    /** The paper's small packet: 74 bytes each way. */
+    RpcBreakdown nullRpc() const { return roundTrip(74, 74); }
+
+    /**
+     * What-if: scale the CPU by `factor` (all instruction-rate
+     * components shrink; wire, controller and DRAM-limited copy terms
+     * do not scale) — the §2.1 Schroeder–Burrows extrapolation check.
+     */
+    double scaledLatencyUs(std::uint32_t arg_bytes,
+                           std::uint32_t result_bytes,
+                           double cpu_factor) const;
+
+    const MachineDesc &machine() const { return desc; }
+    const RpcConfig &config() const { return cfg; }
+
+  private:
+    MachineDesc desc;
+    RpcConfig cfg;
+};
+
+} // namespace aosd
+
+#endif // AOSD_OS_IPC_RPC_HH

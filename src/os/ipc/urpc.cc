@@ -1,0 +1,42 @@
+#include "os/ipc/urpc.hh"
+
+#include "cpu/primitive_costs.hh"
+#include "mem/cache.hh"
+
+namespace aosd
+{
+
+UrpcModel::UrpcModel(const MachineDesc &machine, UrpcConfig config)
+    : desc(machine), cfg(config)
+{}
+
+UrpcBreakdown
+UrpcModel::nullCall() const
+{
+    auto us = [&](Cycles c) { return desc.clock.cyclesToMicros(c); };
+    UrpcBreakdown b;
+
+    // Two queue crossings (call and reply), each guarded by a lock.
+    // On machines without an interlocked instruction this is the
+    // kernel-trap path — URPC cannot fully escape the kernel there.
+    LockImpl impl = naturalLockImpl(desc);
+    b.lockUs = 2.0 * us(lockPairCycles(desc, impl));
+
+    // Arguments onto the shared queue, results off it.
+    b.copyUs = 2.0 * us(copyCycles(desc, cfg.argBytes));
+
+    // The client's thread blocks at user level; the server's runs.
+    ThreadCosts costs = computeThreadCosts(desc, cfg.threadOpts);
+    b.threadSwitchUs = 2.0 * us(costs.userThreadSwitch);
+
+    // Kernel processor reallocation, amortized over a burst of calls.
+    Cycles realloc =
+        sharedCostDb().cycles(desc.id, Primitive::NullSyscall) +
+        sharedCostDb().cycles(desc.id, Primitive::ContextSwitch);
+    b.reallocationUs =
+        us(realloc) / std::max<std::uint32_t>(cfg.callsPerReallocation,
+                                              1);
+    return b;
+}
+
+} // namespace aosd

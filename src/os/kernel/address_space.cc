@@ -1,0 +1,40 @@
+#include "os/kernel/address_space.hh"
+
+namespace aosd
+{
+
+AddressSpace::AddressSpace(std::string name, Asid asid,
+                           const MachineDesc &machine)
+    : spaceName(std::move(name)), spaceAsid(asid),
+      table(makePageTableFor(machine))
+{}
+
+void
+AddressSpace::mapRange(Vpn vpn, std::uint64_t count, Pfn pfn,
+                       PageProt prot)
+{
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Pte pte;
+        pte.pfn = pfn + i;
+        pte.prot = prot;
+        table->map(vpn + i, pte);
+    }
+}
+
+void
+AddressSpace::unmapRange(Vpn vpn, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        table->unmap(vpn + i);
+}
+
+void
+AddressSpace::setWorkingSet(Vpn base, std::uint64_t pages)
+{
+    wset.clear();
+    wset.reserve(pages);
+    for (std::uint64_t i = 0; i < pages; ++i)
+        wset.push_back(base + i);
+}
+
+} // namespace aosd

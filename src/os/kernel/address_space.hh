@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Address spaces: the unit a kernelized OS multiplies (§2.2, §5).
+ *
+ * Each space owns the page-table structure natural to its machine and
+ * an ASID. The kernel tracks the current space and pays the machine's
+ * context-switch costs (TLB purge on untagged hardware, cache flush on
+ * untagged virtual caches) when it changes.
+ */
+
+#ifndef AOSD_OS_KERNEL_ADDRESS_SPACE_HH
+#define AOSD_OS_KERNEL_ADDRESS_SPACE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/machine_desc.hh"
+#include "mem/page_table.hh"
+
+namespace aosd
+{
+
+/** One protection domain. */
+class AddressSpace
+{
+  public:
+    AddressSpace(std::string name, Asid asid, const MachineDesc &machine);
+
+    const std::string &name() const { return spaceName; }
+    Asid asid() const { return spaceAsid; }
+
+    PageTable &pageTable() { return *table; }
+    const PageTable &pageTable() const { return *table; }
+
+    /** Map `count` pages starting at vpn to frames starting at pfn. */
+    void mapRange(Vpn vpn, std::uint64_t count, Pfn pfn, PageProt prot);
+
+    /** Unmap `count` pages starting at vpn. */
+    void unmapRange(Vpn vpn, std::uint64_t count);
+
+    /**
+     * The pages this space touches between reschedules — the working
+     * set whose TLB entries must be re-established after a switch that
+     * evicted them. Used by the workload engine (Table 7) and the LRPC
+     * model (Table 4).
+     */
+    const std::vector<Vpn> &workingSet() const { return wset; }
+    void setWorkingSet(std::vector<Vpn> pages) { wset = std::move(pages); }
+
+    /** Convenience: working set of `pages` consecutive pages at base. */
+    void setWorkingSet(Vpn base, std::uint64_t pages);
+
+  private:
+    std::string spaceName;
+    Asid spaceAsid;
+    std::unique_ptr<PageTable> table;
+    std::vector<Vpn> wset;
+};
+
+} // namespace aosd
+
+#endif // AOSD_OS_KERNEL_ADDRESS_SPACE_HH

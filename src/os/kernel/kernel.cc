@@ -1,0 +1,225 @@
+#include "os/kernel/kernel.hh"
+
+#include "sim/logging.hh"
+
+namespace aosd
+{
+
+SimKernel::SimKernel(const MachineDesc &machine)
+    : desc(machine), costs(sharedCostDb()), tlbModel(machine.tlb),
+      cacheModel(machine.cache)
+{
+    // Space 0 is the kernel itself; its working set models the mapped
+    // kernel data (page tables and the like) that still needs TLB
+    // entries even when kernel *code* runs unmapped (s5).
+    spaces.push_back(
+        std::make_unique<AddressSpace>("kernel", 0, desc));
+    kernelSpace().setWorkingSet(0x800, 8);
+}
+
+AddressSpace &
+SimKernel::createSpace(const std::string &name)
+{
+    Asid asid = nextAsid++;
+    if (desc.tlb.processIdTags && desc.tlb.pidCount > 0) {
+        // ASIDs wrap on real hardware; recycling one forces a purge of
+        // stale translations.
+        Asid wrapped = asid % desc.tlb.pidCount;
+        if (asid >= desc.tlb.pidCount) {
+            tlbModel.invalidateAsid(wrapped);
+            asid = wrapped == 0 ? 1 : wrapped;
+        }
+    }
+    spaces.push_back(std::make_unique<AddressSpace>(name, asid, desc));
+    return *spaces.back();
+}
+
+AddressSpace &
+SimKernel::currentSpace()
+{
+    return *spaces[currentIdx];
+}
+
+void
+SimKernel::chargePrimitive(Primitive p)
+{
+    Cycles c = costs.cycles(desc.id, p);
+    cycleCount += c;
+    primCycles += c;
+}
+
+void
+SimKernel::syscall()
+{
+    counters.inc(kstat::syscalls);
+    chargePrimitive(Primitive::NullSyscall);
+}
+
+void
+SimKernel::trap()
+{
+    counters.inc(kstat::traps);
+    chargePrimitive(Primitive::Trap);
+}
+
+void
+SimKernel::pteChange(AddressSpace &space, Vpn vpn, PageProt prot)
+{
+    counters.inc(kstat::pteChanges);
+    chargePrimitive(Primitive::PteChange);
+    space.pageTable().protect(vpn, prot);
+    tlbModel.invalidate(vpn, space.asid());
+    // Virtually-addressed caches must also drop the page's lines; the
+    // simulated primitive already charges the machine's sweep cost
+    // (i860: 536 of 559 instructions), so only state changes here.
+    if (desc.cache.indexing == CacheIndexing::Virtual)
+        cacheModel.flushPage(vpn << pageShift, space.asid());
+}
+
+void
+SimKernel::contextSwitchTo(AddressSpace &target)
+{
+    AddressSpace &from = currentSpace();
+    if (&target == &from)
+        return;
+    counters.inc(kstat::addrSpaceSwitches);
+    // An address-space switch implies a thread switch (Table 7 note).
+    counters.inc(kstat::threadSwitches);
+    chargePrimitive(Primitive::ContextSwitch);
+
+    Cycles purge = tlbModel.switchContext();
+    cycleCount += purge;
+    primCycles += purge;
+
+    bool cache_tagged = !desc.cache.flushOnContextSwitch;
+    Cycles flush = cacheModel.switchContext(cache_tagged);
+    cycleCount += flush;
+    primCycles += flush;
+
+    for (std::size_t i = 0; i < spaces.size(); ++i) {
+        if (spaces[i].get() == &target) {
+            currentIdx = i;
+            touchWorkingSet();
+            return;
+        }
+    }
+    panic("switch to a space this kernel does not own");
+}
+
+void
+SimKernel::threadSwitch()
+{
+    counters.inc(kstat::threadSwitches);
+    chargePrimitive(Primitive::ContextSwitch);
+}
+
+void
+SimKernel::emulateInstructions(std::uint64_t n)
+{
+    counters.inc(kstat::emulatedInstrs, n);
+    // Each emulated instruction decodes and interprets in the kernel:
+    // a handful of cycles beyond the trap that delivered it.
+    cycleCount += n * 4;
+    primCycles += n * 4;
+}
+
+void
+SimKernel::emulateTestAndSet()
+{
+    counters.inc(kstat::emulatedInstrs);
+    // A dedicated fast trap vector: hardware entry/exit plus a short
+    // interrupts-disabled test-and-set sequence (~80 cycles), much
+    // cheaper than the general trap path but far dearer than an
+    // atomic instruction would be.
+    Cycles c = desc.timing.trapEnterCycles +
+               desc.timing.trapReturnCycles + 70;
+    cycleCount += c;
+    primCycles += c;
+}
+
+void
+SimKernel::otherException()
+{
+    counters.inc(kstat::otherExceptions);
+    chargePrimitive(Primitive::Trap);
+}
+
+void
+SimKernel::touchPages(const std::vector<Vpn> &pages, bool kernel_space)
+{
+    AddressSpace &space =
+        kernel_space ? kernelSpace() : currentSpace();
+    for (Vpn vpn : pages) {
+        TlbLookup r = tlbModel.lookup(vpn, space.asid(), kernel_space);
+        if (!r.hit) {
+            cycleCount += r.missCycles;
+            primCycles += r.missCycles;
+            counters.inc(kernel_space ? kstat::kernelTlbMisses
+                                      : kstat::userTlbMisses);
+            WalkResult w = space.pageTable().walk(vpn);
+            Pte pte = w.pte ? *w.pte : Pte{vpn, {}, false, false, false};
+            tlbModel.insert(vpn, space.asid(), pte.pfn, pte.prot);
+            // Refilling from a *mapped* page table makes the walk
+            // itself reference kernel space: possible second-level
+            // miss (s5: "Page tables, for instance, remain mapped in
+            // kernel mode; TLB entries are needed to map the page
+            // tables themselves").
+            if (!kernel_space) {
+                // Each address space has its own kernel-mapped table
+                // pages; more spaces means more table pages competing
+                // for TLB entries.
+                Vpn table_page = 0x800 + space.asid() +
+                                 ((vpn >> 10) % 2);
+                TlbLookup k =
+                    tlbModel.lookup(table_page, 0, true);
+                if (!k.hit) {
+                    cycleCount += k.missCycles;
+                    primCycles += k.missCycles;
+                    counters.inc(kstat::kernelTlbMisses);
+                    tlbModel.insert(table_page, 0, table_page, {});
+                }
+            }
+        }
+    }
+}
+
+void
+SimKernel::touchWorkingSet()
+{
+    touchPages(currentSpace().workingSet(), false);
+}
+
+void
+SimKernel::chargeMicros(double us)
+{
+    cycleCount += desc.clock.microsToCycles(us);
+}
+
+void
+SimKernel::runUserCode(std::uint64_t instructions)
+{
+    // Application instruction throughput scales with the machine's
+    // integer performance; normalize so the CVAX retires one
+    // instruction per ~1.4 cycles.
+    double cpi = 1.4 / desc.appPerfVsCvax *
+                 (desc.clock.mhz() / 11.1);
+    cycleCount += static_cast<Cycles>(instructions * cpi + 0.5);
+}
+
+double
+SimKernel::elapsedMicros() const
+{
+    return desc.clock.cyclesToMicros(cycleCount);
+}
+
+void
+SimKernel::resetAccounting()
+{
+    cycleCount = 0;
+    primCycles = 0;
+    counters.reset();
+    tlbModel.resetStats();
+    cacheModel.resetStats();
+}
+
+} // namespace aosd

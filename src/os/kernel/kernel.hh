@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The instrumented simulated kernel.
+ *
+ * SimKernel plays the role the authors' instrumented Mach kernels play
+ * in §5: every primitive operation — system call, trap, address-space
+ * context switch, thread switch, TLB miss, emulated instruction — is
+ * both *charged* (simulated time advances by the machine's simulated
+ * primitive cost) and *counted* (Table 7's columns). Higher layers
+ * (IPC, VM, threads, the workload engine) drive the kernel; they never
+ * invent costs of their own for these primitives.
+ */
+
+#ifndef AOSD_OS_KERNEL_KERNEL_HH
+#define AOSD_OS_KERNEL_KERNEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/machine_desc.hh"
+#include "cpu/primitive_costs.hh"
+#include "mem/cache.hh"
+#include "mem/tlb.hh"
+#include "os/kernel/address_space.hh"
+#include "sim/stats.hh"
+
+namespace aosd
+{
+
+/** Counter names SimKernel maintains (Table 7 columns). */
+namespace kstat
+{
+inline constexpr const char *syscalls = "syscalls";
+inline constexpr const char *traps = "traps";
+inline constexpr const char *addrSpaceSwitches = "addr_space_switches";
+inline constexpr const char *threadSwitches = "thread_switches";
+inline constexpr const char *emulatedInstrs = "emulated_instrs";
+inline constexpr const char *kernelTlbMisses = "kernel_tlb_misses";
+inline constexpr const char *userTlbMisses = "user_tlb_misses";
+inline constexpr const char *otherExceptions = "other_exceptions";
+inline constexpr const char *pteChanges = "pte_changes";
+} // namespace kstat
+
+/** One machine's kernel: time accounting + counting + TLB/cache state. */
+class SimKernel
+{
+  public:
+    explicit SimKernel(const MachineDesc &machine);
+
+    const MachineDesc &machine() const { return desc; }
+
+    // ---- address spaces -------------------------------------------
+    /** Create a new address space (ASIDs recycle modulo the TLB's
+     *  pidCount, as on real hardware). */
+    AddressSpace &createSpace(const std::string &name);
+
+    AddressSpace &currentSpace();
+
+    /** The kernel's own space (mapped kernel data: page tables etc.). */
+    AddressSpace &kernelSpace() { return *spaces.front(); }
+
+    // ---- primitive operations (charge + count) --------------------
+    /** Null system call overhead (kernel entry + call prep + C call). */
+    void syscall();
+
+    /** A trap/fault/interrupt through the common machinery. */
+    void trap();
+
+    /** Change one PTE and keep TLB/virtual cache consistent. */
+    void pteChange(AddressSpace &space, Vpn vpn, PageProt prot);
+
+    /** Full address-space context switch, including the hardware costs
+     *  of the mapping change and any untagged-TLB/cache purges, plus
+     *  the TLB refill of the target's working set. */
+    void contextSwitchTo(AddressSpace &target);
+
+    /** Kernel-thread switch within the current space (no mapping
+     *  change; counted separately, cf. Table 7 footnote). */
+    void threadSwitch();
+
+    /** The kernel emulates `n` instructions on behalf of user code
+     *  (e.g. test&set on the MIPS, §4.1/§5). */
+    void emulateInstructions(std::uint64_t n);
+
+    /** Fast-path kernel emulation of one interlocked test&set: a
+     *  minimal trap that disables interrupts, tests and sets (§4.1:
+     *  parthenon spends ~1/5 of its time synchronizing this way). */
+    void emulateTestAndSet();
+
+    /** An interrupt or page fault ("other exceptions" in Table 7). */
+    void otherException();
+
+    // ---- memory references ----------------------------------------
+    /**
+     * Touch pages in the current space through the TLB, charging
+     * refill costs on misses. `kernel_space` selects the slow
+     * software-refill path (mapped kernel data) and counts toward
+     * kernel TLB misses.
+     */
+    void touchPages(const std::vector<Vpn> &pages, bool kernel_space);
+
+    /** Touch the current space's working set (after a switch). */
+    void touchWorkingSet();
+
+    // ---- direct charging ------------------------------------------
+    /** Spend user/kernel computation time without counting anything. */
+    void chargeCycles(Cycles c) { cycleCount += c; }
+    void chargeMicros(double us);
+
+    /** Run user code for `instructions` at ~1 instruction/cycle scaled
+     *  by the machine's application performance. */
+    void runUserCode(std::uint64_t instructions);
+
+    // ---- results ---------------------------------------------------
+    Cycles elapsedCycles() const { return cycleCount; }
+    double elapsedMicros() const;
+    double elapsedSeconds() const { return elapsedMicros() / 1e6; }
+
+    /** Time spent inside primitive operations only (the §5 "% of time
+     *  in OS primitives" numerator). */
+    Cycles primitiveCycles() const { return primCycles; }
+
+    const StatGroup &stats() const { return counters; }
+    StatGroup &mutableStats() { return counters; }
+
+    Tlb &tlb() { return tlbModel; }
+    Cache &cache() { return cacheModel; }
+
+    void resetAccounting();
+
+  private:
+    void chargePrimitive(Primitive p);
+
+    MachineDesc desc;
+    const PrimitiveCostDb &costs;
+    Tlb tlbModel;
+    Cache cacheModel;
+    StatGroup counters{"kernel"};
+    std::vector<std::unique_ptr<AddressSpace>> spaces;
+    std::size_t currentIdx = 0;
+    Asid nextAsid = 1;
+    Cycles cycleCount = 0;
+    Cycles primCycles = 0;
+};
+
+} // namespace aosd
+
+#endif // AOSD_OS_KERNEL_KERNEL_HH

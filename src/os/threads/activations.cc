@@ -1,0 +1,147 @@
+#include "os/threads/activations.hh"
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "cpu/primitive_costs.hh"
+#include "os/threads/thread.hh"
+#include "sim/logging.hh"
+
+namespace aosd
+{
+
+namespace
+{
+
+struct SimThread
+{
+    std::uint32_t slicesLeft = 0;
+    std::uint32_t sliceInRun = 0; // slices since last I/O
+};
+
+} // namespace
+
+ActivationsResult
+runIoWorkload(const MachineDesc &machine, ThreadModel model,
+              const IoWorkload &w)
+{
+    const PrimitiveCostDb &db = sharedCostDb();
+    ThreadCosts costs = computeThreadCosts(machine);
+    const Clock &clk = machine.clock;
+
+    // Per-event costs by model.
+    Cycles switch_cost = 0;
+    Cycles block_cost = 0;   // entering the kernel to start the I/O
+    Cycles upcall_cost = 0;  // kernel->user scheduler notification
+    switch (model) {
+      case ThreadModel::KernelThreads:
+        switch_cost = db.cycles(machine.id, Primitive::ContextSwitch);
+        block_cost = db.cycles(machine.id, Primitive::NullSyscall);
+        break;
+      case ThreadModel::UserThreadsBlocking:
+        switch_cost = costs.userThreadSwitch;
+        block_cost = db.cycles(machine.id, Primitive::NullSyscall);
+        break;
+      case ThreadModel::SchedulerActivations:
+        switch_cost = costs.userThreadSwitch;
+        block_cost = db.cycles(machine.id, Primitive::NullSyscall);
+        // An upcall is a trap out plus a crossing back (s4 / [Anderson
+        // et al. 90]); two per I/O (block notification + unblock).
+        upcall_cost = db.cycles(machine.id, Primitive::Trap) +
+                      db.cycles(machine.id, Primitive::NullSyscall);
+        break;
+    }
+
+    std::vector<SimThread> threads(w.threads);
+    for (auto &t : threads)
+        t.slicesLeft = w.slicesPerThread;
+
+    std::deque<std::uint32_t> ready;
+    for (std::uint32_t i = 0; i < w.threads; ++i)
+        ready.push_back(i);
+
+    // Min-heap of (completion_us, thread) for outstanding I/O.
+    using IoEntry = std::pair<double, std::uint32_t>;
+    std::priority_queue<IoEntry, std::vector<IoEntry>,
+                        std::greater<IoEntry>>
+        io;
+
+    ActivationsResult r;
+    double now_us = 0;
+    double idle_us = 0;
+    std::uint32_t running = UINT32_MAX;
+
+    auto drain_io = [&](bool wait_if_empty_ready) {
+        // Move completed I/Os to the ready queue; optionally advance
+        // time to the next completion when nothing is runnable.
+        while (true) {
+            while (!io.empty() && io.top().first <= now_us) {
+                std::uint32_t t = io.top().second;
+                io.pop();
+                if (model == ThreadModel::SchedulerActivations) {
+                    now_us += clk.cyclesToMicros(upcall_cost);
+                    ++r.upcalls;
+                }
+                ready.push_back(t);
+            }
+            if (!ready.empty() || io.empty() || !wait_if_empty_ready)
+                return;
+            double next = io.top().first;
+            idle_us += next - now_us;
+            now_us = next;
+        }
+    };
+
+    while (true) {
+        drain_io(/*wait_if_empty_ready=*/true);
+        if (ready.empty() && io.empty())
+            break; // all done
+        if (ready.empty())
+            continue;
+
+        std::uint32_t tid = ready.front();
+        ready.pop_front();
+        if (running != tid && running != UINT32_MAX) {
+            now_us += clk.cyclesToMicros(switch_cost);
+            ++r.switches;
+        }
+        running = tid;
+
+        SimThread &t = threads[tid];
+        now_us += clk.cyclesToMicros(w.sliceCycles);
+        --t.slicesLeft;
+        ++t.sliceInRun;
+
+        bool does_io = t.slicesLeft > 0 &&
+                       t.sliceInRun >= w.ioEveryNSlices;
+        if (does_io) {
+            t.sliceInRun = 0;
+            ++r.ioOps;
+            now_us += clk.cyclesToMicros(block_cost);
+            if (model == ThreadModel::UserThreadsBlocking) {
+                // The kernel blocks the only kernel thread: the whole
+                // processor waits out the I/O (s4's functionality gap).
+                idle_us += w.ioLatencyUs;
+                now_us += w.ioLatencyUs;
+                ready.push_back(tid);
+            } else {
+                if (model == ThreadModel::SchedulerActivations) {
+                    // Block notification upcall lets the user
+                    // scheduler pick another thread.
+                    now_us += clk.cyclesToMicros(upcall_cost);
+                    ++r.upcalls;
+                }
+                io.emplace(now_us + w.ioLatencyUs, tid);
+            }
+        } else if (t.slicesLeft > 0) {
+            ready.push_back(tid);
+        }
+    }
+
+    r.elapsedUs = now_us;
+    r.idleFraction = now_us > 0 ? idle_us / now_us : 0.0;
+    return r;
+}
+
+} // namespace aosd

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Scheduler activations (§4, [Anderson et al. 90]).
+ *
+ * The paper argues user-level threads beat kernel threads on cost but
+ * lose functionality when a thread blocks in the kernel: without
+ * kernel cooperation the whole processor stalls. Scheduler activations
+ * fix this with kernel->user upcalls on blocking events, "provid[ing]
+ * all of the function of kernel-level threads without sacrificing
+ * performance". This module simulates an I/O-mixed multithreaded
+ * workload under three regimes — kernel threads, naive user threads,
+ * and activations — with every switch/upcall priced by the machine's
+ * simulated primitives.
+ */
+
+#ifndef AOSD_OS_THREADS_ACTIVATIONS_HH
+#define AOSD_OS_THREADS_ACTIVATIONS_HH
+
+#include <cstdint>
+
+#include "arch/machine_desc.hh"
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+/** How threads and blocking events are managed. */
+enum class ThreadModel
+{
+    KernelThreads,       ///< every op crosses the kernel; I/O overlaps
+    UserThreadsBlocking, ///< cheap ops; a blocking call stalls the CPU
+    SchedulerActivations,///< cheap ops + kernel upcalls on block/unblock
+};
+
+constexpr const char *
+threadModelName(ThreadModel m)
+{
+    switch (m) {
+      case ThreadModel::KernelThreads: return "kernel threads";
+      case ThreadModel::UserThreadsBlocking:
+        return "user threads (naive)";
+      case ThreadModel::SchedulerActivations:
+        return "scheduler activations";
+    }
+    return "?";
+}
+
+/** Workload shape: compute slices interleaved with blocking I/O. */
+struct IoWorkload
+{
+    std::uint32_t threads = 8;
+    std::uint32_t slicesPerThread = 50;
+    Cycles sliceCycles = 2000;
+    /** Every Nth slice ends in a blocking I/O. */
+    std::uint32_t ioEveryNSlices = 5;
+    double ioLatencyUs = 300.0; // disk-ish
+};
+
+/** Outcome of one run. */
+struct ActivationsResult
+{
+    double elapsedUs = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t upcalls = 0;
+    std::uint64_t ioOps = 0;
+    /** Fraction of wall time the CPU sat idle waiting on I/O. */
+    double idleFraction = 0;
+};
+
+/** Run the workload on one machine under one model (uniprocessor). */
+ActivationsResult runIoWorkload(const MachineDesc &machine,
+                                ThreadModel model,
+                                const IoWorkload &workload = {});
+
+} // namespace aosd
+
+#endif // AOSD_OS_THREADS_ACTIVATIONS_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Multiprocessor thread execution (§4).
+ *
+ * The paper's thread discussion is ultimately about shared-memory
+ * multiprocessors (parthenon on a uniprocessor still gained 10% from
+ * threads; Synapse ran on a Sequent). This model runs a thread
+ * workload over P simulated processors with a shared run queue and
+ * real lock contention: a processor that loses a lock race spins and
+ * retries, paying the machine's lock-pair cost each probe. Speedup
+ * curves per machine show how synchronization cost (atomic vs
+ * kernel-trap on the MIPS) and thread-switch cost bound scaling.
+ */
+
+#ifndef AOSD_OS_THREADS_MULTIPROCESSOR_HH
+#define AOSD_OS_THREADS_MULTIPROCESSOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine_desc.hh"
+#include "os/threads/thread_package.hh"
+
+namespace aosd
+{
+
+/** Result of a multiprocessor run. */
+struct MpRunResult
+{
+    /** Wall time: the busiest processor's clock, microseconds. */
+    double elapsedUs = 0;
+    /** Sum of processor busy time (for efficiency computations). */
+    double totalCpuUs = 0;
+    std::uint64_t lockAcquires = 0;
+    std::uint64_t lockRetries = 0;
+    std::uint64_t switches = 0;
+
+    /** Parallel efficiency vs a given serial time. */
+    double
+    speedupOver(double serial_us) const
+    {
+        return elapsedUs > 0 ? serial_us / elapsedUs : 0.0;
+    }
+};
+
+/** Shared-run-queue multiprocessor executor for WorkSlice threads. */
+class MpThreadRunner
+{
+  public:
+    MpThreadRunner(const MachineDesc &machine, ThreadLevel level,
+                   std::uint32_t processors,
+                   ThreadCostOptions opts = {});
+
+    /** Consecutive slices a dispatched thread may run before the
+     *  processor reschedules (default 10). */
+    void setQuantum(std::uint32_t slices) { quantum = slices; }
+
+    /** Add a thread (same WorkSlice format as ThreadPackage). */
+    void addThread(std::vector<WorkSlice> slices);
+
+    void setLockCount(std::size_t n) { locks.assign(n, {}); }
+
+    /** Total time the run spent waiting on busy locks, microseconds
+     *  (filled in by run()). */
+    double lockWaitUs() const { return lockWaitMicros; }
+
+    /** Execute everything; returns the run result. */
+    MpRunResult run();
+
+    std::uint32_t processors() const { return nProcs; }
+
+  private:
+    struct Thread
+    {
+        std::vector<WorkSlice> slices;
+        std::size_t next = 0;
+        int heldLock = -1;
+        bool done() const { return next >= slices.size(); }
+    };
+
+    /**
+     * A lock with temporal semantics: `held` while the owner has it
+     * across a yield (release time unknown); otherwise `freeAt` is
+     * the simulated time its last critical section ended, and a
+     * processor acquiring earlier must spin until then.
+     */
+    struct TemporalLock
+    {
+        bool held = false;
+        std::uint32_t owner = 0;
+        Cycles freeAt = 0;
+    };
+
+    MachineDesc desc;
+    ThreadLevel level;
+    std::uint32_t nProcs;
+    std::uint32_t quantum = 10;
+    ThreadCosts costs;
+    Cycles lockCost = 0;
+    std::vector<Thread> threads;
+    std::vector<TemporalLock> locks;
+    double lockWaitMicros = 0;
+};
+
+} // namespace aosd
+
+#endif // AOSD_OS_THREADS_MULTIPROCESSOR_HH

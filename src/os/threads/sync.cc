@@ -1,0 +1,53 @@
+#include "os/threads/sync.hh"
+
+#include "cpu/exec_model.hh"
+#include "cpu/primitive_costs.hh"
+
+namespace aosd
+{
+
+LockImpl
+naturalLockImpl(const MachineDesc &machine)
+{
+    return machine.hasAtomicOp ? LockImpl::AtomicInstruction
+                               : LockImpl::KernelTrap;
+}
+
+Cycles
+lockPairCycles(const MachineDesc &machine, LockImpl impl)
+{
+    ExecModel exec(machine);
+    switch (impl) {
+      case LockImpl::AtomicInstruction: {
+        if (!machine.hasAtomicOp)
+            return 0; // not available: caller must pick another path
+        InstrStream s;
+        s.atomicOp(1).branch(1).alu(2); // acquire: t&s + test
+        s.store(1).alu(1);              // release: clear
+        return exec.runStream(s).cycles;
+      }
+      case LockImpl::KernelTrap: {
+        // Trap in, run a short interrupt-disabled critical section,
+        // return — twice (acquire and release each cross the kernel).
+        const PrimitiveCostDb &db = sharedCostDb();
+        InstrStream body;
+        body.alu(14).load(2).store(2).branch(2);
+        Cycles body_cycles = exec.runStream(body).cycles;
+        return 2 * (db.cycles(machine.id, Primitive::NullSyscall) +
+                    body_cycles);
+      }
+      case LockImpl::LamportSoftware: {
+        // Lamport's fast path: two writes + two reads of x/y plus
+        // fences of plain accesses — "overheads on the order of
+        // dozens of cycles" (s5).
+        InstrStream s;
+        s.store(2).load(2).branch(3).alu(8);  // entry protocol
+        s.load(2).store(2).branch(2).alu(6);  // exit protocol
+        s.load(4).alu(6);                     // delay/recheck
+        return exec.runStream(s).cycles;
+      }
+    }
+    return 0;
+}
+
+} // namespace aosd

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synchronization cost models (§4.1, §5).
+ *
+ * The MIPS R2000/R3000 has no interlocked instruction, so user-level
+ * critical sections either trap into the kernel (expensive — parthenon
+ * spends ~1/5 of its time there) or run a Lamport-style software mutex
+ * (still dozens of cycles). Machines with test&set pay a bus-locked
+ * access. All three paths are priced here, and a functional lock is
+ * provided for the thread package and the DSM layer.
+ */
+
+#ifndef AOSD_OS_THREADS_SYNC_HH
+#define AOSD_OS_THREADS_SYNC_HH
+
+#include <cstdint>
+
+#include "arch/machine_desc.hh"
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+/** How mutual exclusion is implemented. */
+enum class LockImpl
+{
+    AtomicInstruction, ///< ldstub / xmem / BBSSI
+    KernelTrap,        ///< trap in, disable interrupts, test, set
+    LamportSoftware,   ///< [Lamport 87] fast mutual exclusion
+};
+
+constexpr const char *
+lockImplName(LockImpl impl)
+{
+    switch (impl) {
+      case LockImpl::AtomicInstruction: return "atomic instruction";
+      case LockImpl::KernelTrap: return "kernel trap";
+      case LockImpl::LamportSoftware: return "Lamport software";
+    }
+    return "?";
+}
+
+/** The implementation a user-level thread package must use on this
+ *  machine (atomic if the ISA has one, else a kernel trap). */
+LockImpl naturalLockImpl(const MachineDesc &machine);
+
+/** Cycles for one uncontended acquire+release pair. */
+Cycles lockPairCycles(const MachineDesc &machine, LockImpl impl);
+
+/**
+ * Functional test&set lock used by the thread package and DSM tests.
+ * Tracks acquisition counts so invariants can be asserted.
+ */
+class TestAndSetLock
+{
+  public:
+    /** @return true if the lock was acquired. */
+    bool
+    tryAcquire(std::uint32_t owner)
+    {
+        if (held)
+            return false;
+        held = true;
+        holder = owner;
+        ++acquisitions;
+        return true;
+    }
+
+    void
+    release(std::uint32_t owner)
+    {
+        if (held && holder == owner)
+            held = false;
+    }
+
+    bool isHeld() const { return held; }
+    std::uint32_t currentHolder() const { return holder; }
+    std::uint64_t acquireCount() const { return acquisitions; }
+
+  private:
+    bool held = false;
+    std::uint32_t holder = 0;
+    std::uint64_t acquisitions = 0;
+};
+
+} // namespace aosd
+
+#endif // AOSD_OS_THREADS_SYNC_HH

@@ -1,0 +1,131 @@
+#include "os/threads/thread.hh"
+
+#include "cpu/exec_model.hh"
+#include "cpu/handlers.hh"
+#include "cpu/primitive_costs.hh"
+
+namespace aosd
+{
+
+std::uint32_t
+threadStateWords(const MachineDesc &machine, bool fp_in_use)
+{
+    std::uint32_t words = machine.intRegs + machine.miscStateWords;
+    if (fp_in_use)
+        words += machine.fpStateWords;
+    return words;
+}
+
+namespace
+{
+
+/** Execute a small stream on a fresh execution model. */
+Cycles
+cost(const MachineDesc &m, const InstrStream &s)
+{
+    ExecModel exec(m);
+    return exec.runStream(s).cycles;
+}
+
+Cycles
+procCallCycles(const MachineDesc &m)
+{
+    InstrStream s;
+    if (m.microcoded) {
+        // CALLS/RET microcode plus argument pushes.
+        s.microcoded(45).microcoded(40).microcoded(4, 2);
+        return cost(m, s);
+    }
+    if (m.regWindows.windows > 0) {
+        // save/restore slide the window: no memory traffic until the
+        // window set overflows (the SPARC design point, s4.1). Deep
+        // call chains overflow occasionally; amortize one spill per
+        // 8 calls.
+        s.branch(2).alu(10);
+        s.hwDelay(14); // ~spill cost / 8
+        return cost(m, s);
+    }
+    // Flat RISC: jal, small prologue/epilogue spill, return.
+    s.branch(2).store(2).alu(4).load(2);
+    return cost(m, s);
+}
+
+Cycles
+userSwitchCycles(const MachineDesc &m, const ThreadCostOptions &opts)
+{
+    const PrimitiveCostDb &db = sharedCostDb();
+
+    if (m.regWindows.windows > 0) {
+        // SPARC: the current-window pointer is privileged, so a purely
+        // user-level switch is impossible (s4.1): trap into the kernel,
+        // then spill/fill the active windows plus globals.
+        Cycles trap = db.cycles(m.id, Primitive::NullSyscall);
+        InstrStream windows;
+        int pairs = static_cast<int>(
+            m.regWindows.avgSaveRestorePerSwitch + 0.5);
+        for (int i = 0; i < pairs; ++i)
+            windows.append(sparcWindowSaveSeq(m));
+        for (int i = 0; i < pairs; ++i)
+            windows.append(sparcWindowRestoreSeq(m));
+        InstrStream globals;
+        std::uint32_t g = 8 + m.miscStateWords +
+                          (opts.fpInUse ? m.fpStateWords : 0);
+        globals.store(g).load(g).alu(12).branch(4);
+        return trap + cost(m, windows) + cost(m, globals);
+    }
+
+    std::uint32_t words = threadStateWords(m, opts.fpInUse);
+    if (opts.saveActiveOnly)
+        words = words / 2;
+    InstrStream s;
+    if (m.microcoded) {
+        // Save/restore through MOVQ-style microcode: ~3 cycles/word
+        // each way, plus dispatch.
+        s.microcoded(3, words * 2).microcoded(20);
+        return cost(m, s);
+    }
+    s.alu(8);
+    s.store(words);
+    s.alu(6);
+    s.load(words);
+    s.branch(4);
+    if (m.pipeline.exposed) {
+        // Involuntary switches must also juggle visible pipeline state.
+        s.ctrlRead(m.pipeline.stateRegs / 3);
+        s.ctrlWrite(m.pipeline.stateRegs / 3);
+    }
+    return cost(m, s);
+}
+
+} // namespace
+
+ThreadCosts
+computeThreadCosts(const MachineDesc &machine, ThreadCostOptions opts)
+{
+    const PrimitiveCostDb &db = sharedCostDb();
+    ThreadCosts c;
+    c.procedureCall = procCallCycles(machine);
+    c.userThreadSwitch = userSwitchCycles(machine, opts);
+
+    // User-level creation: allocate/initialize a TCB and stack frame —
+    // "5-10 times the cost of a procedure call" [Anderson et al. 89].
+    {
+        InstrStream s;
+        if (machine.microcoded) {
+            s.microcoded(4, 12).microcoded(45).microcoded(40);
+        } else {
+            s.alu(24).store(16).branch(4);
+        }
+        ExecModel exec(machine);
+        c.userThreadCreate = exec.runStream(s).cycles;
+    }
+
+    // Kernel-level operations pay the Table 1 primitives.
+    c.kernelThreadSwitch =
+        db.cycles(machine.id, Primitive::ContextSwitch);
+    c.kernelThreadCreate =
+        db.cycles(machine.id, Primitive::NullSyscall) * 2 + 600;
+    return c;
+}
+
+} // namespace aosd

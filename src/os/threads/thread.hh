@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Thread state and per-architecture thread operation costs (§4).
+ *
+ * Table 6 gives the processor state a thread carries on each machine;
+ * §4.1 argues that this state — register windows above all — is what
+ * makes fine-grained threads expensive on the newer architectures.
+ * computeThreadCosts() prices procedure calls, user-level thread
+ * switches (including the SPARC's forced kernel trap to move the
+ * privileged current-window pointer), creates, and kernel-level
+ * operations from the same execution model as Tables 1/2.
+ */
+
+#ifndef AOSD_OS_THREADS_THREAD_HH
+#define AOSD_OS_THREADS_THREAD_HH
+
+#include <cstdint>
+
+#include "arch/machine_desc.hh"
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+/** Options for the thread cost model. */
+struct ThreadCostOptions
+{
+    /** The application uses floating point (its state must be saved;
+     *  Table 1's measurements assume it does not). */
+    bool fpInUse = false;
+    /** Save only registers in active use [Wall 86] — the optimization
+     *  §4.1 says "may become crucial". Halves the flat register
+     *  traffic; does not help register windows. */
+    bool saveActiveOnly = false;
+};
+
+/** Cycle costs of thread-level operations on one machine. */
+struct ThreadCosts
+{
+    Cycles procedureCall = 0;
+    Cycles userThreadSwitch = 0;
+    Cycles userThreadCreate = 0;
+    Cycles kernelThreadSwitch = 0;
+    Cycles kernelThreadCreate = 0;
+
+    /** §4.1's headline ratio for the SPARC (~50). */
+    double
+    switchToCallRatio() const
+    {
+        return procedureCall
+                   ? static_cast<double>(userThreadSwitch) /
+                         static_cast<double>(procedureCall)
+                   : 0.0;
+    }
+};
+
+/** Words of processor state a thread must save (Table 6 row sum,
+ *  optionally without FP state). */
+std::uint32_t threadStateWords(const MachineDesc &machine,
+                               bool fp_in_use);
+
+/** Price thread operations on `machine`. */
+ThreadCosts computeThreadCosts(const MachineDesc &machine,
+                               ThreadCostOptions opts = {});
+
+} // namespace aosd
+
+#endif // AOSD_OS_THREADS_THREAD_HH

@@ -1,0 +1,213 @@
+#include "os/vm/vm_clients.hh"
+
+#include "mem/cache.hh"
+#include "sim/logging.hh"
+
+namespace aosd
+{
+
+// ------------------------------------------------------------ GcBarrier
+
+GcBarrier::GcBarrier(VmManager &vm_manager, AddressSpace &heap_space)
+    : vm(vm_manager), space(heap_space)
+{
+    vm.setUserHandler(space, [this](AddressSpace &s, Vpn vpn, bool) {
+        if (vpn < regionBase || vpn >= regionBase + regionPages)
+            return false; // not a barrier fault
+        // Scan/forward the objects on the page, then unprotect it.
+        vm.kernel().runUserCode(scanInstructionsPerPage);
+        PageProt rw;
+        rw.writable = true;
+        s.pageTable().protect(vpn, rw);
+        scanned.insert(vpn);
+        return true;
+    });
+}
+
+void
+GcBarrier::startCollection(Vpn base, std::uint64_t pages)
+{
+    regionBase = base;
+    regionPages = pages;
+    scanned.clear();
+    PageProt none;
+    none.readable = false;
+    none.writable = false;
+    vm.protect(space, base, pages, none);
+}
+
+void
+GcBarrier::mutatorAccess(Vpn vpn, bool write)
+{
+    FaultResult r = vm.access(space, vpn, write);
+    if (r == FaultResult::NotMapped)
+        panic("GC mutator touched an unmapped page");
+}
+
+bool
+GcBarrier::collectionDone() const
+{
+    return scanned.size() == regionPages;
+}
+
+// ------------------------------------------------- IncrementalCheckpoint
+
+IncrementalCheckpoint::IncrementalCheckpoint(VmManager &vm_manager,
+                                             AddressSpace &ckpt_space)
+    : vm(vm_manager), space(ckpt_space)
+{
+    vm.setUserHandler(space, [this](AddressSpace &s, Vpn vpn,
+                                    bool write) {
+        if (!write || vpn < regionBase ||
+            vpn >= regionBase + regionPages)
+            return false;
+        // Copy the page into the checkpoint buffer, then re-enable
+        // writes so the application proceeds.
+        vm.kernel().chargeCycles(
+            copyCycles(vm.kernel().machine(), pageBytes));
+        PageProt rw;
+        rw.writable = true;
+        s.pageTable().protect(vpn, rw);
+        copied.insert(vpn);
+        return true;
+    });
+}
+
+void
+IncrementalCheckpoint::begin(Vpn base, std::uint64_t pages)
+{
+    regionBase = base;
+    regionPages = pages;
+    copied.clear();
+    PageProt ro;
+    ro.writable = false;
+    vm.protect(space, base, pages, ro);
+}
+
+void
+IncrementalCheckpoint::applicationWrite(Vpn vpn)
+{
+    FaultResult r = vm.access(space, vpn, true);
+    if (r == FaultResult::NotMapped)
+        panic("checkpoint write to an unmapped page");
+}
+
+std::uint64_t
+IncrementalCheckpoint::cleanPages() const
+{
+    return regionPages - copied.size();
+}
+
+// ----------------------------------------------------------- TransactionVm
+
+TransactionVm::TransactionVm(VmManager &vm_manager,
+                             AddressSpace &tx_space, Vpn base,
+                             std::uint64_t pages)
+    : vm(vm_manager), space(tx_space), regionBase(base),
+      regionPages(pages)
+{
+    // All pages start inaccessible: every first touch by a
+    // transaction is a lock-acquiring fault.
+    PageProt none;
+    none.readable = false;
+    none.writable = false;
+    vm.protect(space, base, pages, none);
+}
+
+TransactionVm::TxId
+TransactionVm::begin()
+{
+    TxId tx = nextTx++;
+    liveTx.insert(tx);
+    return tx;
+}
+
+bool
+TransactionVm::read(TxId tx, Vpn vpn)
+{
+    if (!liveTx.count(tx))
+        return false;
+    PageLock &l = locks[vpn];
+    if (l.mode == LockMode::Write && l.writer != tx) {
+        abort(tx);
+        return false;
+    }
+    if (!l.readers.count(tx) && !(l.mode == LockMode::Write &&
+                                  l.writer == tx)) {
+        // First touch: the protection fault acquires the read lock.
+        ++faultCount;
+        vm.kernel().trap();
+        PageProt ro;
+        ro.writable = false;
+        vm.kernel().pteChange(space, vpn, ro);
+        if (l.mode == LockMode::None)
+            l.mode = LockMode::Read;
+        l.readers.insert(tx);
+    }
+    return true;
+}
+
+bool
+TransactionVm::write(TxId tx, Vpn vpn)
+{
+    if (!liveTx.count(tx))
+        return false;
+    PageLock &l = locks[vpn];
+    bool other_writer = l.mode == LockMode::Write && l.writer != tx;
+    bool other_readers = false;
+    for (TxId r : l.readers)
+        other_readers |= r != tx;
+    if (other_writer || other_readers) {
+        abort(tx);
+        return false;
+    }
+    if (l.mode != LockMode::Write) {
+        // Upgrade fault: acquire the write lock.
+        ++faultCount;
+        vm.kernel().trap();
+        PageProt rw;
+        rw.writable = true;
+        vm.kernel().pteChange(space, vpn, rw);
+        l.mode = LockMode::Write;
+        l.writer = tx;
+        l.readers.insert(tx);
+    }
+    return true;
+}
+
+void
+TransactionVm::abort(TxId tx)
+{
+    ++abortCount;
+    commit(tx); // release locks identically
+    liveTx.erase(tx);
+}
+
+void
+TransactionVm::commit(TxId tx)
+{
+    for (auto &kv : locks) {
+        PageLock &l = kv.second;
+        if (l.mode == LockMode::Write && l.writer == tx) {
+            l.mode = LockMode::None;
+            l.writer = 0;
+            l.readers.erase(tx);
+            // Re-protect for the next transaction.
+            PageProt none;
+            none.readable = false;
+            none.writable = false;
+            vm.kernel().pteChange(space, kv.first, none);
+        } else if (l.readers.erase(tx)) {
+            if (l.readers.empty() && l.mode == LockMode::Read) {
+                l.mode = LockMode::None;
+                PageProt none;
+                none.readable = false;
+                none.writable = false;
+                vm.kernel().pteChange(space, kv.first, none);
+            }
+        }
+    }
+    liveTx.erase(tx);
+}
+
+} // namespace aosd

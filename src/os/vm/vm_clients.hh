@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The run-time systems §3 says are overloading VM protection bits:
+ * concurrent garbage collection [Ellis et al. 88], incremental
+ * checkpointing [Li et al. 90], and transaction locking [Radin 82] /
+ * recoverable virtual memory [Eppinger 89].
+ *
+ * Each client is a small, functional user-level system built on
+ * VmManager's fault-reflection path. They exist to measure the §3.3
+ * trade-off end to end: these techniques are exactly as cheap as the
+ * machine's trap + PTE-change + kernel-crossing primitives let them
+ * be.
+ */
+
+#ifndef AOSD_OS_VM_VM_CLIENTS_HH
+#define AOSD_OS_VM_VM_CLIENTS_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "os/vm/vm_manager.hh"
+
+namespace aosd
+{
+
+/**
+ * Concurrent GC read barrier (Appel-Ellis-Li style): from-space pages
+ * are protected; the first access scans/forwards the page and unlocks
+ * it. Mutator accesses after scanning are free.
+ */
+class GcBarrier
+{
+  public:
+    GcBarrier(VmManager &vm, AddressSpace &heap_space);
+
+    /** Begin a collection over `pages` pages at `base`: protect all. */
+    void startCollection(Vpn base, std::uint64_t pages);
+
+    /** Mutator access; may trigger a scan fault. */
+    void mutatorAccess(Vpn vpn, bool write);
+
+    /** Pages scanned so far this collection. */
+    std::uint64_t scannedPages() const { return scanned.size(); }
+
+    /** All from-space pages scanned? */
+    bool collectionDone() const;
+
+    /** Simulated instructions to scan one page's objects. */
+    static constexpr std::uint64_t scanInstructionsPerPage = 2000;
+
+  private:
+    VmManager &vm;
+    AddressSpace &space;
+    Vpn regionBase = 0;
+    std::uint64_t regionPages = 0;
+    std::set<Vpn> scanned;
+};
+
+/**
+ * Incremental checkpoint [Li-Naughton-Plank]: write-protect the whole
+ * address space at checkpoint start; the first write to each page
+ * copies it to the checkpoint buffer and re-enables writes, letting
+ * the application run concurrently with checkpoint I/O.
+ */
+class IncrementalCheckpoint
+{
+  public:
+    IncrementalCheckpoint(VmManager &vm, AddressSpace &space);
+
+    /** Take a checkpoint of `pages` pages at `base`. */
+    void begin(Vpn base, std::uint64_t pages);
+
+    /** Application write; first touch copies the page. */
+    void applicationWrite(Vpn vpn);
+
+    /** Pages copied because the app wrote them before the checkpoint
+     *  drained. */
+    std::uint64_t copiedPages() const { return copied.size(); }
+
+    /** Pages still clean (checkpointer can write them lazily). */
+    std::uint64_t cleanPages() const;
+
+  private:
+    VmManager &vm;
+    AddressSpace &space;
+    Vpn regionBase = 0;
+    std::uint64_t regionPages = 0;
+    std::set<Vpn> copied;
+};
+
+/**
+ * Page-granular two-phase transaction locking: reads take read locks
+ * (pages protected read-only until then), writes take write locks.
+ * Conflicting lock requests from another transaction abort it
+ * (simple wound-wait-free model for the cost study).
+ */
+class TransactionVm
+{
+  public:
+    TransactionVm(VmManager &vm, AddressSpace &space, Vpn base,
+                  std::uint64_t pages);
+
+    using TxId = std::uint32_t;
+
+    TxId begin();
+
+    /** @return false if the access conflicts and the tx aborts. */
+    bool read(TxId tx, Vpn vpn);
+    bool write(TxId tx, Vpn vpn);
+
+    /** Commit: release locks, clear protections. */
+    void commit(TxId tx);
+
+    std::uint64_t aborts() const { return abortCount; }
+    std::uint64_t lockFaults() const { return faultCount; }
+
+  private:
+    enum class LockMode
+    {
+        None,
+        Read,
+        Write,
+    };
+
+    struct PageLock
+    {
+        LockMode mode = LockMode::None;
+        std::set<TxId> readers;
+        TxId writer = 0;
+    };
+
+    void abort(TxId tx);
+
+    VmManager &vm;
+    AddressSpace &space;
+    Vpn regionBase;
+    std::uint64_t regionPages;
+    std::map<Vpn, PageLock> locks;
+    std::set<TxId> liveTx;
+    TxId nextTx = 1;
+    std::uint64_t abortCount = 0;
+    std::uint64_t faultCount = 0;
+};
+
+} // namespace aosd
+
+#endif // AOSD_OS_VM_VM_CLIENTS_HH

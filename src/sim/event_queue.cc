@@ -1,0 +1,56 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace aosd
+{
+
+void
+EventQueue::schedule(Tick when, std::function<void()> action)
+{
+    if (when < currentTick)
+        panic("event scheduled in the past: %llu < %llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(currentTick));
+    heap.push(Event{when, nextSeq++, std::move(action)});
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t executed = 0;
+    while (!heap.empty() && executed < max_events) {
+        Event ev = heap.top();
+        heap.pop();
+        currentTick = ev.when;
+        ev.action();
+        ++executed;
+    }
+    return executed;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t executed = 0;
+    while (!heap.empty() && heap.top().when <= until) {
+        Event ev = heap.top();
+        heap.pop();
+        currentTick = ev.when;
+        ev.action();
+        ++executed;
+    }
+    if (currentTick < until)
+        currentTick = until;
+    return executed;
+}
+
+void
+EventQueue::reset()
+{
+    heap = {};
+    currentTick = 0;
+    nextSeq = 0;
+}
+
+} // namespace aosd

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Discrete event queue.
+ *
+ * The network, DSM coherence protocol and multi-node RPC experiments run
+ * on a classic discrete-event core: events are (tick, sequence, callback)
+ * triples executed in time order, with the sequence number breaking ties
+ * deterministically in scheduling order.
+ */
+
+#ifndef AOSD_SIM_EVENT_QUEUE_HH
+#define AOSD_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+/** A single scheduled event. */
+struct Event
+{
+    Tick when = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> action;
+};
+
+/**
+ * Time-ordered event queue. Ties are broken by scheduling order so that
+ * simulation results never depend on container iteration order.
+ */
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /** Number of events not yet executed. */
+    std::size_t pending() const { return heap.size(); }
+
+    /** Schedule an action at an absolute tick (must be >= now()). */
+    void schedule(Tick when, std::function<void()> action);
+
+    /** Schedule an action delta ticks after now(). */
+    void
+    scheduleAfter(Tick delta, std::function<void()> action)
+    {
+        schedule(currentTick + delta, std::move(action));
+    }
+
+    /**
+     * Run events until the queue is empty or the event limit is hit.
+     * @return number of events executed.
+     */
+    std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+    /**
+     * Run events with time <= until.
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick currentTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> heap;
+};
+
+} // namespace aosd
+
+#endif // AOSD_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Error reporting and status helpers, following the gem5 split between
+ * panic() (simulator bug: abort) and fatal() (user error: clean exit),
+ * plus warn()/inform() status streams.
+ */
+
+#ifndef AOSD_SIM_LOGGING_HH
+#define AOSD_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace aosd
+{
+
+/** Print a message and abort(): something that should never happen did. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a message and exit(1): the user asked for something impossible. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message; simulation continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/** printf-style into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace aosd
+
+#endif // AOSD_SIM_LOGGING_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (workload interleavings,
+ * synthetic reference streams) draws from explicitly seeded instances of
+ * this generator so that every run is reproducible. The generator is
+ * splitmix64-seeded xoshiro256**.
+ */
+
+#ifndef AOSD_SIM_RANDOM_HH
+#define AOSD_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace aosd
+{
+
+/** Small, fast, deterministic PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // splitmix64 expansion of the seed into the state vector.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style rejection-free multiply-shift is fine here; bias is
+        // negligible for simulation bounds (<< 2^32).
+        return (static_cast<unsigned __int128>(next()) * bound) >> 64;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace aosd
+
+#endif // AOSD_SIM_RANDOM_HH

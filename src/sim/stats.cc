@@ -1,0 +1,29 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace aosd
+{
+
+double
+Distribution::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    double mu = mean();
+    double var = (sumSq - static_cast<double>(n) * mu * mu) /
+                 static_cast<double>(n - 1);
+    return var < 0.0 ? 0.0 : var;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters)
+        os << name << '.' << kv.first << " = " << kv.second << '\n';
+    return os.str();
+}
+
+} // namespace aosd

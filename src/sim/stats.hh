@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Lightweight statistics: named counters and scalar histograms.
+ *
+ * The simulated kernel instruments itself with these the way the authors
+ * instrumented Mach (Table 7): every trap, syscall, context switch and TLB
+ * miss bumps a counter in a StatGroup owned by the component.
+ */
+
+#ifndef AOSD_SIM_STATS_HH
+#define AOSD_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aosd
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { total += n; }
+    void reset() { total = 0; }
+    std::uint64_t value() const { return total; }
+
+  private:
+    std::uint64_t total = 0;
+};
+
+/** Accumulates scalar samples; reports count/min/max/mean. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (n == 0) {
+            lo = hi = v;
+        } else {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        sum += v;
+        sumSq += v * v;
+        ++n;
+    }
+
+    void
+    reset()
+    {
+        n = 0;
+        sum = sumSq = lo = hi = 0.0;
+    }
+
+    std::uint64_t count() const { return n; }
+    double min() const { return lo; }
+    double max() const { return hi; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double variance() const;
+    double total() const { return sum; }
+
+  private:
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * A named bag of counters, addressed by string. Components own one and
+ * expose it read-only; the workload runner snapshots it between phases.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name) : name(std::move(group_name))
+    {}
+
+    /** Bump a named counter, creating it on first use. */
+    void
+    inc(const std::string &counter, std::uint64_t n = 1)
+    {
+        counters[counter] += n;
+    }
+
+    /** Read a counter (0 if never bumped). */
+    std::uint64_t
+    get(const std::string &counter) const
+    {
+        auto it = counters.find(counter);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    /** Zero every counter. */
+    void
+    reset()
+    {
+        for (auto &kv : counters)
+            kv.second = 0;
+    }
+
+    const std::string &groupName() const { return name; }
+
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters;
+    }
+
+    /** Render "group.counter = value" lines. */
+    std::string dump() const;
+
+  private:
+    std::string name;
+    std::map<std::string, std::uint64_t> counters;
+};
+
+} // namespace aosd
+
+#endif // AOSD_SIM_STATS_HH

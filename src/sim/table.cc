@@ -1,0 +1,123 @@
+#include "sim/table.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace aosd
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    headerCells = std::move(cells);
+    leftAligned.assign(headerCells.size(), false);
+    if (!leftAligned.empty())
+        leftAligned[0] = true;
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    if (cells.size() != headerCells.size())
+        panic("table row has %zu cells, expected %zu", cells.size(),
+              headerCells.size());
+    rows.push_back(Row{false, std::move(cells)});
+}
+
+void
+TextTable::separator()
+{
+    rows.push_back(Row{true, {}});
+}
+
+void
+TextTable::leftAlign(std::size_t col)
+{
+    if (col < leftAligned.size())
+        leftAligned[col] = true;
+}
+
+std::string
+TextTable::render() const
+{
+    const std::size_t ncols = headerCells.size();
+    std::vector<std::size_t> width(ncols, 0);
+    for (std::size_t c = 0; c < ncols; ++c)
+        width[c] = headerCells[c].size();
+    for (const auto &r : rows) {
+        if (r.isSeparator)
+            continue;
+        for (std::size_t c = 0; c < ncols; ++c)
+            width[c] = std::max(width[c], r.cells[c].size());
+    }
+
+    auto pad = [&](const std::string &s, std::size_t c) {
+        std::string out;
+        std::size_t fill = width[c] - s.size();
+        if (leftAligned[c])
+            out = s + std::string(fill, ' ');
+        else
+            out = std::string(fill, ' ') + s;
+        return out;
+    };
+
+    std::ostringstream os;
+    auto emit_sep = [&]() {
+        for (std::size_t c = 0; c < ncols; ++c) {
+            os << std::string(width[c] + 2, '-');
+            if (c + 1 < ncols)
+                os << '+';
+        }
+        os << '\n';
+    };
+
+    for (std::size_t c = 0; c < ncols; ++c) {
+        os << ' ' << pad(headerCells[c], c) << ' ';
+        if (c + 1 < ncols)
+            os << '|';
+    }
+    os << '\n';
+    emit_sep();
+
+    for (const auto &r : rows) {
+        if (r.isSeparator) {
+            emit_sep();
+            continue;
+        }
+        for (std::size_t c = 0; c < ncols; ++c) {
+            os << ' ' << pad(r.cells[c], c) << ' ';
+            if (c + 1 < ncols)
+                os << '|';
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::grouped(std::uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+} // namespace aosd

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table formatter used by the bench binaries to print
+ * paper-style tables (Tables 1-7 of Anderson et al. 1991).
+ */
+
+#ifndef AOSD_SIM_TABLE_HH
+#define AOSD_SIM_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace aosd
+{
+
+/**
+ * Builds a monospaced table: a header row, data rows, optional separator
+ * rows, and per-column right/left alignment. Numeric cells are formatted
+ * by the caller so each bench controls its own precision.
+ */
+class TextTable
+{
+  public:
+    /** Set the column headers (fixes the column count). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator at this position. */
+    void separator();
+
+    /** Left-align a column (default is right-aligned except column 0). */
+    void leftAlign(std::size_t col);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Helper: format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 1);
+
+    /** Helper: format an integer with thousands grouping. */
+    static std::string grouped(std::uint64_t v);
+
+  private:
+    struct Row
+    {
+        bool isSeparator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headerCells;
+    std::vector<Row> rows;
+    std::vector<bool> leftAligned;
+};
+
+} // namespace aosd
+
+#endif // AOSD_SIM_TABLE_HH

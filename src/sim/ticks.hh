@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fundamental time types for the simulator.
+ *
+ * Simulated time is kept in integer picoseconds ("ticks") so that all
+ * machine clock rates used in the paper (11.1 MHz CVAX up to 40 MHz i860)
+ * divide into it without rounding drift, and so that runs are bit-for-bit
+ * deterministic.
+ */
+
+#ifndef AOSD_SIM_TICKS_HH
+#define AOSD_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace aosd
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A cycle count on some clocked component. */
+using Cycles = std::uint64_t;
+
+constexpr Tick ticksPerPicosecond = 1;
+constexpr Tick ticksPerNanosecond = 1000;
+constexpr Tick ticksPerMicrosecond = 1000 * 1000;
+constexpr Tick ticksPerMillisecond = 1000ULL * 1000 * 1000;
+constexpr Tick ticksPerSecond = 1000ULL * 1000 * 1000 * 1000;
+
+/**
+ * A fixed clock rate. Converts between cycles and ticks.
+ */
+class Clock
+{
+  public:
+    /** Construct from a frequency in megahertz (may be fractional). */
+    static constexpr Clock
+    fromMHz(double mhz)
+    {
+        // period in ps = 1e6 / MHz
+        return Clock(static_cast<Tick>(1.0e6 / mhz + 0.5));
+    }
+
+    explicit constexpr Clock(Tick period_ps) : periodPs(period_ps) {}
+
+    constexpr Tick period() const { return periodPs; }
+
+    constexpr double
+    mhz() const
+    {
+        return 1.0e6 / static_cast<double>(periodPs);
+    }
+
+    constexpr Tick
+    cyclesToTicks(Cycles c) const
+    {
+        return c * periodPs;
+    }
+
+    constexpr Cycles
+    ticksToCycles(Tick t) const
+    {
+        return (t + periodPs - 1) / periodPs;
+    }
+
+    /** Convert a cycle count to microseconds (for paper-style tables). */
+    constexpr double
+    cyclesToMicros(Cycles c) const
+    {
+        return static_cast<double>(c * periodPs) / 1.0e6;
+    }
+
+    /** Convert microseconds to (rounded) cycles. */
+    constexpr Cycles
+    microsToCycles(double us) const
+    {
+        return static_cast<Cycles>(us * 1.0e6 / periodPs + 0.5);
+    }
+
+  private:
+    Tick periodPs;
+};
+
+} // namespace aosd
+
+#endif // AOSD_SIM_TICKS_HH

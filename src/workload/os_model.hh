@@ -1,0 +1,114 @@
+/**
+ * @file
+ * OS structure models: monolithic ("Mach 2.5") vs small-kernel
+ * ("Mach 3.0"), §5.
+ *
+ * Both models execute the same AppProfile on an instrumented SimKernel.
+ * The monolithic model services every Unix call inside the kernel; the
+ * small-kernel model routes calls through a transparent emulation
+ * library and cross-address-space RPCs to user-level servers (a Unix
+ * server and a file cache manager), which is where the extra system
+ * calls, context switches, kernel TLB misses and emulated instructions
+ * of Table 7 come from.
+ */
+
+#ifndef AOSD_WORKLOAD_OS_MODEL_HH
+#define AOSD_WORKLOAD_OS_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "arch/machine_desc.hh"
+#include "os/kernel/kernel.hh"
+#include "sim/random.hh"
+#include "workload/app_profile.hh"
+
+namespace aosd
+{
+
+/** Which structure the OS uses. */
+enum class OsStructure
+{
+    Monolithic,  ///< Mach 2.5: everything in the kernel
+    SmallKernel, ///< Mach 3.0: services in user-level servers
+};
+
+constexpr const char *
+osStructureName(OsStructure s)
+{
+    return s == OsStructure::Monolithic ? "Mach 2.5 (monolithic)"
+                                        : "Mach 3.0 (decomposed)";
+}
+
+/** One Table 7 row. */
+struct Table7Row
+{
+    std::string app;
+    OsStructure structure = OsStructure::Monolithic;
+    double elapsedSeconds = 0;
+    std::uint64_t addressSpaceSwitches = 0;
+    std::uint64_t threadSwitches = 0;
+    std::uint64_t systemCalls = 0;
+    std::uint64_t emulatedInstructions = 0;
+    std::uint64_t kernelTlbMisses = 0;
+    std::uint64_t otherExceptions = 0;
+    /** Percent of elapsed time inside primitive operations. */
+    double percentTimeInPrimitives = 0;
+};
+
+/** Tunables of the system model itself (not per-application). */
+struct OsModelConfig
+{
+    /** Mapped kernel data pool (buffer cache, vm objects), pages. */
+    std::uint32_t kernelPoolPages = 160;
+    /** Timer tick rate driving reschedule switches. */
+    double quantumSwitchesPerSecond = 10.0;
+    /** Clock interrupt rate (Hz), counted as other exceptions. */
+    double clockInterruptHz = 100.0;
+    /** Unix server / file cache manager TLB working sets (pages). */
+    std::uint32_t unixServerWorkingSet = 24;
+    std::uint32_t cacheManagerWorkingSet = 16;
+    /** Kernel-structure pages (ports, message queues) each Mach IPC
+     *  system call touches in the decomposed system. */
+    std::uint32_t kernelTouchesPerIpc = 5;
+    /** Kernel-stack/pmap pages touched on every context switch. */
+    std::uint32_t kernelTouchesPerSwitch = 4;
+    /** RNG seed (runs are deterministic per seed). */
+    std::uint64_t seed = 12345;
+};
+
+/** Executes profiles against one machine + one OS structure. */
+class MachSystem
+{
+  public:
+    MachSystem(const MachineDesc &machine, OsStructure structure,
+               OsModelConfig config = {});
+
+    /** Run one application to completion and report its row. */
+    Table7Row run(const AppProfile &app);
+
+    OsStructure structure() const { return osStructure; }
+
+  private:
+    void serviceCallMonolithic(SimKernel &k, AddressSpace &app_space,
+                               AddressSpace &daemon,
+                               const AppProfile &app, Rng &rng);
+    void serviceCallSmallKernel(SimKernel &k, AddressSpace &app_space,
+                                AddressSpace &unix_server,
+                                AddressSpace &cache_mgr,
+                                const AppProfile &app, Rng &rng);
+    void touchKernelPool(SimKernel &k, std::uint32_t touches, Rng &rng);
+
+    MachineDesc desc;
+    OsStructure osStructure;
+    OsModelConfig cfg;
+};
+
+/** Paper values for Table 7 (for benches/tests). Returns a row with
+ *  zeros when the paper has no such entry. */
+Table7Row paperTable7Row(const std::string &app, OsStructure structure);
+
+} // namespace aosd
+
+#endif // AOSD_WORKLOAD_OS_MODEL_HH

@@ -1,0 +1,34 @@
+#include "workload/synapse.hh"
+
+namespace aosd
+{
+
+std::vector<SynapseRun>
+synapseExperiments()
+{
+    // The paper reports ratios from 21:1 to 42:1 across experiments
+    // (8 of the calls per switch came from the run-time system).
+    return {
+        {"logic-sim-small", 420000, 20000},   // 21:1
+        {"logic-sim-medium", 870000, 30000},  // 29:1
+        {"queueing-net", 1440000, 40000},     // 36:1
+        {"logic-sim-large", 2100000, 50000},  // 42:1
+    };
+}
+
+SynapseCostResult
+priceSynapseRun(const MachineDesc &machine, const SynapseRun &run,
+                ThreadCostOptions opts)
+{
+    ThreadCosts costs = computeThreadCosts(machine, opts);
+    SynapseCostResult r;
+    r.run = run.name;
+    r.ratio = run.callSwitchRatio();
+    r.callTimeUs = machine.clock.cyclesToMicros(
+        costs.procedureCall * run.procedureCalls);
+    r.switchTimeUs = machine.clock.cyclesToMicros(
+        costs.userThreadSwitch * run.contextSwitches);
+    return r;
+}
+
+} // namespace aosd

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The Synapse experiment (§4.1).
+ *
+ * The authors measured the Synapse parallel simulation environment on
+ * a Sequent and found procedure-call : context-switch ratios between
+ * 21:1 and 42:1, and observed that on a SPARC — where a user-level
+ * thread switch costs ~50 procedure calls — such a program would spend
+ * more time switching than calling. This module reproduces that
+ * arithmetic from the simulated thread costs of every machine.
+ */
+
+#ifndef AOSD_WORKLOAD_SYNAPSE_HH
+#define AOSD_WORKLOAD_SYNAPSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/machine_desc.hh"
+#include "os/threads/thread.hh"
+
+namespace aosd
+{
+
+/** One Synapse run's call/switch profile. */
+struct SynapseRun
+{
+    std::string name;
+    std::uint64_t procedureCalls = 0;
+    std::uint64_t contextSwitches = 0;
+
+    double
+    callSwitchRatio() const
+    {
+        return contextSwitches
+                   ? static_cast<double>(procedureCalls) /
+                         static_cast<double>(contextSwitches)
+                   : 0.0;
+    }
+};
+
+/** The measured range of Synapse experiments (21:1 .. 42:1). */
+std::vector<SynapseRun> synapseExperiments();
+
+/** Result of pricing one run on one machine. */
+struct SynapseCostResult
+{
+    std::string run;
+    double ratio = 0;
+    double callTimeUs = 0;
+    double switchTimeUs = 0;
+    /** True when the program spends more time switching than calling —
+     *  the §4.1 SPARC verdict. */
+    bool switchesDominate() const { return switchTimeUs > callTimeUs; }
+};
+
+/** Price a run's call and switch time on `machine`. */
+SynapseCostResult priceSynapseRun(const MachineDesc &machine,
+                                  const SynapseRun &run,
+                                  ThreadCostOptions opts = {});
+
+} // namespace aosd
+
+#endif // AOSD_WORKLOAD_SYNAPSE_HH

@@ -1,0 +1,183 @@
+#include "workload/app_profile.hh"
+
+#include "sim/logging.hh"
+
+/*
+ * Profile calibration
+ * -------------------
+ * Direct activity counts (service calls, lock operations, "other
+ * exception" totals) are taken from the paper's Mach 2.5 rows, which
+ * report what the applications *do* rather than what any OS structure
+ * turns that into. Structural parameters of the decomposed system
+ * (rpcFraction, serversPerRpc, switchesPerRpc, emulInstrsPerCall) are
+ * derived from the ratios in the paper's own discussion: each Unix
+ * call becomes at least two system calls and two context switches via
+ * a server RPC; open/close on the Andrew scripts involve two local
+ * RPCs (Unix server + file cache manager); parthenon's emulated
+ * instruction count is its test&set traffic, nearly identical on both
+ * systems. User-computation budgets are set so the *monolithic*
+ * elapsed times land near the paper; decomposed elapsed times are
+ * then emergent.
+ */
+
+namespace aosd
+{
+
+std::vector<AppProfile>
+table7Workloads()
+{
+    std::vector<AppProfile> apps;
+
+    {
+        AppProfile a;
+        a.name = "spellcheck-1";
+        a.unixServiceCalls = 802;
+        a.blockFraction = 0.10;
+        a.pageFaults = 800;
+        a.deviceInterrupts = 1400;
+        a.userInstructionsK = 85000;
+        a.ioWaitSeconds = 0.4;
+        a.intraSpaceSwitches = 100;
+        a.workingSetPages = 20;
+        a.kernelTouchesPerCall = 5;
+        a.rpcFraction = 1.0;
+        a.serversPerRpc = 1.18;
+        a.switchesPerRpc = 1.35;
+        a.emulInstrsPerCall = 17.0;
+        a.emulInstrsMonolithic = 39;
+        a.serverInstrsPerRpc = 2000;
+        apps.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "latex-150";
+        a.unixServiceCalls = 5513;
+        a.blockFraction = 0.15;
+        a.pageFaults = 4000;
+        a.deviceInterrupts = 4500;
+        a.userInstructionsK = 3520000;
+        a.ioWaitSeconds = 1.5;
+        a.intraSpaceSwitches = 620;
+        a.workingSetPages = 30;
+        a.kernelTouchesPerCall = 5;
+        a.rpcFraction = 1.0;
+        a.serversPerRpc = 1.50;
+        a.switchesPerRpc = 1.96;
+        a.emulInstrsPerCall = 39.0;
+        a.emulInstrsMonolithic = 320;
+        a.serverInstrsPerRpc = 2000;
+        apps.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "andrew-local";
+        a.unixServiceCalls = 35168;
+        a.blockFraction = 0.035;
+        a.pageFaults = 20000;
+        a.deviceInterrupts = 41000;
+        a.userInstructionsK = 3500000;
+        a.ioWaitSeconds = 4.0;
+        a.intraSpaceSwitches = 2300;
+        a.workingSetPages = 28;
+        a.kernelTouchesPerCall = 4;
+        a.rpcFraction = 0.84;
+        a.serversPerRpc = 1.19;
+        a.switchesPerRpc = 1.18;
+        a.emulInstrsPerCall = 14.0;
+        a.emulInstrsMonolithic = 331;
+        a.serverInstrsPerRpc = 2500;
+        apps.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "andrew-remote";
+        a.unixServiceCalls = 35498;
+        a.blockFraction = 0.045;
+        a.pageFaults = 18000;
+        a.deviceInterrupts = 41000;
+        a.userInstructionsK = 3500000;
+        a.ioWaitSeconds = 20.0;
+        a.intraSpaceSwitches = 2800;
+        a.workingSetPages = 28;
+        a.kernelTouchesPerCall = 5;
+        a.rpcFraction = 1.0;
+        a.serversPerRpc = 2.26; // Unix server + file cache manager
+        a.switchesPerRpc = 1.61;
+        a.emulInstrsPerCall = 45.0;
+        a.emulInstrsMonolithic = 410;
+        a.serverInstrsPerRpc = 6000;
+        apps.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "link-vmunix";
+        a.unixServiceCalls = 13099;
+        a.blockFraction = 0.012;
+        a.pageFaults = 6000;
+        a.deviceInterrupts = 7000;
+        a.userInstructionsK = 1230000;
+        a.ioWaitSeconds = 1.0;
+        a.intraSpaceSwitches = 450;
+        a.workingSetPages = 32;
+        a.kernelTouchesPerCall = 4;
+        a.rpcFraction = 1.0;
+        a.serversPerRpc = 1.03;
+        a.switchesPerRpc = 1.82;
+        a.emulInstrsPerCall = 12.6;
+        a.emulInstrsMonolithic = 137;
+        a.serverInstrsPerRpc = 2000;
+        apps.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "parthenon (1 thread)";
+        a.unixServiceCalls = 257;
+        a.blockFraction = 0.10;
+        a.pageFaults = 300;
+        a.deviceInterrupts = 200;
+        a.userInstructionsK = 950000;
+        a.ioWaitSeconds = 0.2;
+        a.threads = 1;
+        a.intraSpaceSwitches = 130;
+        a.lockOps = 1395555; // the paper's emulated-instruction count
+        a.workingSetPages = 26;
+        a.kernelTouchesPerCall = 5;
+        a.rpcFraction = 1.0;
+        a.serversPerRpc = 2.54; // mach vm/thread calls dominate
+        a.switchesPerRpc = 2.0;
+        a.emulInstrsPerCall = 44.0;
+        apps.push_back(a);
+    }
+    {
+        AppProfile a;
+        a.name = "parthenon (10 threads)";
+        a.unixServiceCalls = 268;
+        a.blockFraction = 0.10;
+        a.pageFaults = 400;
+        a.deviceInterrupts = 300;
+        a.userInstructionsK = 860000;
+        a.ioWaitSeconds = 0.2;
+        a.threads = 10;
+        a.intraSpaceSwitches = 980;
+        a.lockOps = 1254087;
+        a.workingSetPages = 26;
+        a.kernelTouchesPerCall = 5;
+        a.rpcFraction = 1.0;
+        a.serversPerRpc = 2.56;
+        a.switchesPerRpc = 2.0;
+        a.emulInstrsPerCall = 300.0;
+        apps.push_back(a);
+    }
+    return apps;
+}
+
+AppProfile
+workloadByName(const std::string &name)
+{
+    for (const AppProfile &a : table7Workloads())
+        if (a.name == name)
+            return a;
+    fatal("unknown workload: %s", name.c_str());
+}
+
+} // namespace aosd

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for address spaces and the message/marshal helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machines.hh"
+#include "os/ipc/message.hh"
+#include "os/kernel/address_space.hh"
+
+namespace aosd
+{
+namespace
+{
+
+TEST(AddressSpace, UsesMachineNaturalPageTable)
+{
+    AddressSpace vax("p", 1, makeMachine(MachineId::CVAX));
+    EXPECT_EQ(vax.pageTable().structureName(), "linear");
+    AddressSpace sparc("p", 1, makeMachine(MachineId::SPARC));
+    EXPECT_EQ(sparc.pageTable().structureName(), "3-level");
+}
+
+TEST(AddressSpace, MapRangeMapsContiguously)
+{
+    AddressSpace s("p", 1, makeMachine(MachineId::R3000));
+    PageProt rw;
+    rw.writable = true;
+    s.mapRange(0x100, 8, 0x900, rw);
+    EXPECT_EQ(s.pageTable().mappedPages(), 8u);
+    for (Vpn v = 0; v < 8; ++v) {
+        auto pte = s.pageTable().walk(0x100 + v).pte;
+        ASSERT_TRUE(pte.has_value());
+        EXPECT_EQ(pte->pfn, 0x900 + v);
+        EXPECT_TRUE(pte->prot.writable);
+    }
+}
+
+TEST(AddressSpace, UnmapRangeRemoves)
+{
+    AddressSpace s("p", 1, makeMachine(MachineId::R3000));
+    s.mapRange(0x100, 8, 0x900, {});
+    s.unmapRange(0x102, 4);
+    EXPECT_EQ(s.pageTable().mappedPages(), 4u);
+    EXPECT_TRUE(s.pageTable().walk(0x100).pte.has_value());
+    EXPECT_FALSE(s.pageTable().walk(0x103).pte.has_value());
+}
+
+TEST(AddressSpace, WorkingSetConvenience)
+{
+    AddressSpace s("p", 1, makeMachine(MachineId::R3000));
+    s.setWorkingSet(0x200, 5);
+    ASSERT_EQ(s.workingSet().size(), 5u);
+    EXPECT_EQ(s.workingSet().front(), 0x200u);
+    EXPECT_EQ(s.workingSet().back(), 0x204u);
+    s.setWorkingSet({1, 5, 9});
+    EXPECT_EQ(s.workingSet().size(), 3u);
+}
+
+TEST(AddressSpace, IdentityIsPreserved)
+{
+    AddressSpace s("my-space", 7, makeMachine(MachineId::R3000));
+    EXPECT_EQ(s.name(), "my-space");
+    EXPECT_EQ(s.asid(), 7u);
+}
+
+TEST(Marshal, CombinesCopyAndFixedWork)
+{
+    MachineDesc m = makeMachine(MachineId::R3000);
+    Cycles just_fixed = marshalCycles(m, 0, 100);
+    EXPECT_EQ(just_fixed, 100u);
+    Cycles with_bytes = marshalCycles(m, 1024, 100);
+    EXPECT_GT(with_bytes, just_fixed + 256u); // at least 1 cyc/word
+}
+
+} // namespace
+} // namespace aosd

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the cycle-level execution model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machines.hh"
+#include "cpu/exec_model.hh"
+
+namespace aosd
+{
+namespace
+{
+
+TEST(ExecModel, AluAndNopAreOneCycle)
+{
+    ExecModel exec(makeMachine(MachineId::R3000));
+    InstrStream s;
+    s.alu(10).nop(5);
+    PhaseResult r = exec.runStream(s);
+    EXPECT_EQ(r.cycles, 15u);
+    EXPECT_EQ(r.instructions, 15u);
+    EXPECT_EQ(r.breakdown.base, 15u);
+}
+
+TEST(ExecModel, ColdLoadPaysMissPenalty)
+{
+    MachineDesc m = makeMachine(MachineId::R3000);
+    ExecModel exec(m);
+    InstrStream s;
+    s.load(1, /*cold_miss=*/true);
+    PhaseResult r = exec.runStream(s);
+    EXPECT_EQ(r.cycles, 1u + m.cache.missPenaltyCycles);
+    EXPECT_EQ(r.breakdown.cacheMissStall, m.cache.missPenaltyCycles);
+}
+
+TEST(ExecModel, UncachedAccessCost)
+{
+    MachineDesc m = makeMachine(MachineId::M88000);
+    ExecModel exec(m);
+    InstrStream s;
+    s.loadUncached(2).storeUncached(1);
+    PhaseResult r = exec.runStream(s);
+    EXPECT_EQ(r.cycles, 3u * m.cache.uncachedCycles);
+    EXPECT_EQ(r.breakdown.uncached, 3u * m.cache.uncachedCycles);
+}
+
+TEST(ExecModel, TrapCostsComeFromTiming)
+{
+    MachineDesc m = makeMachine(MachineId::SPARC);
+    ExecModel exec(m);
+    InstrStream s;
+    s.trapEnter(false).trapReturn();
+    PhaseResult r = exec.runStream(s);
+    EXPECT_EQ(r.cycles, static_cast<Cycles>(
+                            m.timing.trapEnterCycles +
+                            m.timing.trapReturnCycles));
+    EXPECT_EQ(r.instructions, 1u); // only the return is an instruction
+}
+
+TEST(ExecModel, MicrocodeCycles)
+{
+    ExecModel exec(makeMachine(MachineId::CVAX));
+    InstrStream s;
+    s.microcoded(45).microcoded(8, 2);
+    PhaseResult r = exec.runStream(s);
+    EXPECT_EQ(r.cycles, 45u + 16u);
+    EXPECT_EQ(r.instructions, 3u);
+    EXPECT_EQ(r.breakdown.microcode, 61u);
+}
+
+TEST(ExecModel, CacheFlushAllVisitsEveryLine)
+{
+    MachineDesc m = makeMachine(MachineId::I860);
+    ExecModel exec(m);
+    InstrStream s;
+    s.cacheFlushAll();
+    PhaseResult r = exec.runStream(s);
+    Cycles lines = m.cache.sizeBytes / m.cache.lineBytes;
+    EXPECT_EQ(r.cycles, lines * m.cache.flushLineCycles);
+}
+
+TEST(ExecModel, TlbOpsUseTlbDescCosts)
+{
+    MachineDesc m = makeMachine(MachineId::CVAX);
+    ExecModel exec(m);
+    InstrStream s;
+    s.tlbPurgeEntry(1).tlbPurgeAll().tlbWrite(1);
+    PhaseResult r = exec.runStream(s);
+    EXPECT_EQ(r.cycles, static_cast<Cycles>(m.tlb.purgeEntryCycles +
+                                            m.tlb.purgeAllCycles +
+                                            m.tlb.writeEntryCycles));
+}
+
+TEST(ExecModel, WriteBufferStateCarriesAcrossOps)
+{
+    // A store burst then immediate loads: on the DS3100 the loads
+    // wait for the drain; on the DS5000 they do not.
+    InstrStream s;
+    s.store(8);
+    s.load(4);
+
+    ExecModel ds3100(makeMachine(MachineId::R2000));
+    ExecModel ds5000(makeMachine(MachineId::R3000));
+    Cycles c3100 = ds3100.runStream(s).cycles;
+    Cycles c5000 = ds5000.runStream(s).cycles;
+    EXPECT_GT(c3100, c5000);
+}
+
+TEST(ExecModel, RunResetsBufferBetweenPrograms)
+{
+    MachineDesc m = makeMachine(MachineId::R2000);
+    ExecModel exec(m);
+    InstrStream body;
+    body.store(10);
+    HandlerProgram p{Primitive::Trap, {{PhaseKind::Body, body}}};
+    ExecResult first = exec.run(p);
+    ExecResult second = exec.run(p);
+    EXPECT_EQ(first.cycles, second.cycles); // steady-state repeatable
+}
+
+TEST(ExecModel, BreakdownSumsToTotal)
+{
+    for (const MachineDesc &m : allMachines()) {
+        ExecModel exec(m);
+        InstrStream s;
+        s.alu(5).store(6).load(3, true).branch(2).ctrlRead(2);
+        s.tlbPurgeEntry(1).microcoded(10).trapEnter(false);
+        PhaseResult r = exec.runStream(s);
+        EXPECT_EQ(r.breakdown.total(), r.cycles) << m.name;
+    }
+}
+
+TEST(ExecModel, PhasesAccumulateInOrder)
+{
+    MachineDesc m = makeMachine(MachineId::R3000);
+    ExecModel exec(m);
+    InstrStream a, b;
+    a.alu(10);
+    b.alu(20);
+    HandlerProgram p{Primitive::NullSyscall,
+                     {{PhaseKind::KernelEntryExit, a},
+                      {PhaseKind::CallPrep, b}}};
+    ExecResult r = exec.run(p);
+    EXPECT_EQ(r.cycles, 30u);
+    EXPECT_EQ(r.phaseCycles(PhaseKind::KernelEntryExit), 10u);
+    EXPECT_EQ(r.phaseCycles(PhaseKind::CallPrep), 20u);
+    EXPECT_EQ(r.phaseCycles(PhaseKind::CCallReturn), 0u);
+    EXPECT_EQ(r.instructions, 30u);
+}
+
+TEST(ExecModel, MicrosConversion)
+{
+    MachineDesc m = makeMachine(MachineId::R3000); // 25 MHz
+    ExecModel exec(m);
+    InstrStream s;
+    s.alu(25);
+    HandlerProgram p{Primitive::NullSyscall, {{PhaseKind::Body, s}}};
+    ExecResult r = exec.run(p);
+    EXPECT_NEAR(r.micros(m.clock), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace aosd

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the extension experiments: architecture-fix handler
+ * variants (§2.5), user-level RPC (§2.5 kernel avoidance), and the
+ * synthetic reference-trace study (§1/§3.2 background).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machines.hh"
+#include "cpu/exec_model.hh"
+#include "cpu/handler_variants.hh"
+#include "cpu/handlers.hh"
+#include "cpu/primitive_costs.hh"
+#include "os/ipc/lrpc.hh"
+#include "os/ipc/urpc.hh"
+#include "workload/ref_trace.hh"
+
+namespace aosd
+{
+namespace
+{
+
+// ---- architecture fixes ----------------------------------------------
+
+TEST(ArchFixes, EachFixAppliesSomewhere)
+{
+    for (ArchFix fix : allArchFixes) {
+        bool applies = false;
+        for (const MachineDesc &m : allMachines())
+            for (Primitive p : allPrimitives)
+                applies |= archFixApplies(fix, m.id, p);
+        EXPECT_TRUE(applies) << archFixName(fix);
+    }
+}
+
+TEST(ArchFixes, NonApplicableFixReturnsStockHandler)
+{
+    MachineDesc cvax = makeMachine(MachineId::CVAX);
+    HandlerProgram stock = buildHandler(cvax, Primitive::Trap);
+    HandlerProgram same = buildImprovedHandler(
+        cvax, Primitive::Trap, ArchFix::VectoredSyscalls);
+    EXPECT_EQ(stock.instructionCount(), same.instructionCount());
+}
+
+class ArchFixTest : public ::testing::TestWithParam<ArchFix>
+{
+};
+
+TEST_P(ArchFixTest, FixStrictlyImprovesItsTarget)
+{
+    ArchFix fix = GetParam();
+    for (const MachineDesc &m : allMachines()) {
+        for (Primitive p : allPrimitives) {
+            if (!archFixApplies(fix, m.id, p))
+                continue;
+            ExecModel exec(m);
+            Cycles stock = exec.run(buildHandler(m, p)).cycles;
+            exec.reset();
+            Cycles fixed =
+                exec.run(buildImprovedHandler(m, p, fix)).cycles;
+            EXPECT_LT(fixed, stock)
+                << archFixName(fix) << " on " << m.name;
+            // And the gain is meaningful but sane (1.05x..20x).
+            double gain = static_cast<double>(stock) /
+                          static_cast<double>(fixed);
+            EXPECT_GT(gain, 1.05) << archFixName(fix);
+            EXPECT_LT(gain, 20.0) << archFixName(fix);
+        }
+    }
+}
+
+TEST_P(ArchFixTest, FixReducesInstructionCount)
+{
+    ArchFix fix = GetParam();
+    for (const MachineDesc &m : allMachines()) {
+        for (Primitive p : allPrimitives) {
+            if (!archFixApplies(fix, m.id, p))
+                continue;
+            EXPECT_LT(buildImprovedHandler(m, p, fix)
+                          .instructionCount(),
+                      buildHandler(m, p).instructionCount())
+                << archFixName(fix) << " on " << m.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFixes, ArchFixTest, ::testing::ValuesIn(allArchFixes),
+    [](const ::testing::TestParamInfo<ArchFix> &info) {
+        switch (info.param) {
+          case ArchFix::LazyPipelineCheck: return "LazyPipeline";
+          case ArchFix::PreflightWindowFault: return "Preflight";
+          case ArchFix::VectoredSyscalls: return "Vectored";
+          case ArchFix::FaultAddressRegister: return "FaultAddr";
+          case ArchFix::CacheContextTags: return "CacheTags";
+        }
+        return "unknown";
+    });
+
+TEST(ArchFixes, I860TrapFixRemovesInterpretationInstructions)
+{
+    MachineDesc i860 = makeMachine(MachineId::I860);
+    std::uint64_t stock =
+        buildHandler(i860, Primitive::Trap).instructionCount();
+    std::uint64_t fixed =
+        buildImprovedHandler(i860, Primitive::Trap,
+                             ArchFix::FaultAddressRegister)
+            .instructionCount();
+    // s3.1: the interpretation adds 26 instructions; the fix replaces
+    // them with one control-register read.
+    EXPECT_EQ(stock - fixed, 25u);
+}
+
+// ---- URPC --------------------------------------------------------------
+
+TEST(Urpc, AvoidsKernelOnCapableMachines)
+{
+    // On the RS6000 (atomic op, flat registers) URPC handily beats
+    // LRPC.
+    MachineDesc rs6k = makeMachine(MachineId::RS6000);
+    double lrpc = LrpcModel(rs6k).nullCall().totalUs();
+    double urpc = UrpcModel(rs6k).nullCall().totalUs();
+    EXPECT_LT(urpc, lrpc / 2.0);
+}
+
+TEST(Urpc, MipsPaysKernelLocks)
+{
+    // No test&set: the "user-level" locks trap, eroding the win.
+    UrpcBreakdown mips =
+        UrpcModel(makeMachine(MachineId::R3000)).nullCall();
+    UrpcBreakdown rs6k =
+        UrpcModel(makeMachine(MachineId::RS6000)).nullCall();
+    EXPECT_GT(mips.lockUs, 5.0 * rs6k.lockUs);
+}
+
+TEST(Urpc, SparcPaysWindowTraffic)
+{
+    UrpcBreakdown sparc =
+        UrpcModel(makeMachine(MachineId::SPARC)).nullCall();
+    UrpcBreakdown rs6k =
+        UrpcModel(makeMachine(MachineId::RS6000)).nullCall();
+    EXPECT_GT(sparc.threadSwitchUs, 3.0 * rs6k.threadSwitchUs);
+}
+
+TEST(Urpc, ReallocationAmortizes)
+{
+    MachineDesc m = makeMachine(MachineId::R3000);
+    UrpcConfig every_call;
+    every_call.callsPerReallocation = 1;
+    UrpcConfig amortized;
+    amortized.callsPerReallocation = 100;
+    double eager = UrpcModel(m, every_call).nullCall().totalUs();
+    double lazy = UrpcModel(m, amortized).nullCall().totalUs();
+    EXPECT_GT(eager, lazy);
+    // With per-call reallocation URPC degenerates toward LRPC.
+    double lrpc = LrpcModel(m).nullCall().totalUs();
+    EXPECT_GT(eager, 0.25 * lrpc);
+}
+
+// ---- reference traces ---------------------------------------------------
+
+TEST(RefTrace, ClarkEmerShapeOnUntaggedTlb)
+{
+    // One fifth of references, more than ~half of the misses.
+    RefTraceResult r =
+        runRefTrace(makeMachine(MachineId::CVAX));
+    EXPECT_NEAR(r.systemRefShare(), 0.20, 0.02);
+    EXPECT_GT(r.systemMissShare(), 0.50);
+    EXPECT_GT(r.systemMissRate(), 3.0 * r.userMissRate());
+}
+
+TEST(RefTrace, DeterministicPerSeed)
+{
+    MachineDesc m = makeMachine(MachineId::CVAX);
+    RefTraceResult a = runRefTrace(m);
+    RefTraceResult b = runRefTrace(m);
+    EXPECT_EQ(a.userMisses, b.userMisses);
+    EXPECT_EQ(a.systemMisses, b.systemMisses);
+}
+
+TEST(RefTrace, RefCountsAddUp)
+{
+    RefTraceConfig cfg;
+    cfg.references = 100000;
+    RefTraceResult r =
+        runRefTrace(makeMachine(MachineId::R3000), cfg);
+    EXPECT_EQ(r.userRefs + r.systemRefs, cfg.references);
+    EXPECT_LE(r.userMisses, r.userRefs);
+    EXPECT_LE(r.systemMisses, r.systemRefs);
+}
+
+TEST(RefTrace, TagsReduceUserMisses)
+{
+    RefTraceConfig cfg;
+    cfg.references = 500000;
+    // Same geometry, tags on/off.
+    MachineDesc untagged = makeMachine(MachineId::CVAX);
+    MachineDesc tagged = untagged;
+    tagged.tlb.processIdTags = true;
+    tagged.tlb.pidCount = 64;
+    tagged.tlb.entries = untagged.tlb.entries;
+    RefTraceResult u = runRefTrace(untagged, cfg);
+    RefTraceResult t = runRefTrace(tagged, cfg);
+    EXPECT_LT(t.userMissRate(), u.userMissRate());
+}
+
+TEST(RefTrace, BiggerTlbMissesLess)
+{
+    MachineDesc small = makeMachine(MachineId::CVAX); // 28 entries
+    MachineDesc big = small;
+    big.tlb.entries = 256;
+    RefTraceResult s = runRefTrace(small);
+    RefTraceResult b = runRefTrace(big);
+    EXPECT_LT(b.systemMissRate(), s.systemMissRate());
+    EXPECT_LE(b.userMissRate(), s.userMissRate());
+}
+
+TEST(RefTrace, SystemHeavyWorkloadShiftsMissShare)
+{
+    RefTraceConfig light, heavy;
+    light.systemFraction = 0.10;
+    heavy.systemFraction = 0.55;
+    MachineDesc m = makeMachine(MachineId::CVAX);
+    EXPECT_GT(runRefTrace(m, heavy).systemMissShare(),
+              runRefTrace(m, light).systemMissShare());
+}
+
+} // namespace
+} // namespace aosd

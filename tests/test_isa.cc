@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the micro-op ISA and InstrStream builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/isa.hh"
+
+namespace aosd
+{
+namespace
+{
+
+TEST(InstrStream, CountsRepeatedOps)
+{
+    InstrStream s;
+    s.alu(5).store(3).load(2);
+    EXPECT_EQ(s.instructionCount(), 10u);
+    EXPECT_EQ(s.countOf(OpKind::Alu), 5u);
+    EXPECT_EQ(s.countOf(OpKind::Store), 3u);
+    EXPECT_EQ(s.countOf(OpKind::Load), 2u);
+}
+
+TEST(InstrStream, ZeroCountOpsAreDropped)
+{
+    InstrStream s;
+    s.alu(0).nop(0);
+    EXPECT_TRUE(s.ops().empty());
+    EXPECT_EQ(s.instructionCount(), 0u);
+}
+
+TEST(InstrStream, TrapEnterInstructionAccounting)
+{
+    InstrStream risc;
+    risc.trapEnter(false); // hardware event on RISCs
+    EXPECT_EQ(risc.instructionCount(), 0u);
+
+    InstrStream cisc;
+    cisc.trapEnter(true); // CHMK is an instruction
+    EXPECT_EQ(cisc.instructionCount(), 1u);
+}
+
+TEST(InstrStream, HwDelayIsNotAnInstruction)
+{
+    InstrStream s;
+    s.hwDelay(100);
+    EXPECT_EQ(s.instructionCount(), 0u);
+    ASSERT_EQ(s.ops().size(), 1u);
+    EXPECT_EQ(s.ops()[0].cycles, 100u);
+}
+
+TEST(InstrStream, FpuSyncIsNotAnInstruction)
+{
+    InstrStream s;
+    s.fpuSync(30);
+    EXPECT_EQ(s.instructionCount(), 0u);
+}
+
+TEST(InstrStream, MicrocodedOpsCarryCycles)
+{
+    InstrStream s;
+    s.microcoded(45).microcoded(8, 3);
+    EXPECT_EQ(s.instructionCount(), 4u);
+    EXPECT_EQ(s.ops()[0].cycles, 45u);
+    EXPECT_EQ(s.ops()[1].cycles, 8u);
+    EXPECT_EQ(s.ops()[1].count, 3u);
+}
+
+TEST(InstrStream, AppendConcatenates)
+{
+    InstrStream a, b;
+    a.alu(2);
+    b.store(3).load(1);
+    a.append(b);
+    EXPECT_EQ(a.instructionCount(), 6u);
+    EXPECT_EQ(a.ops().size(), 3u);
+}
+
+TEST(InstrStream, UncachedAndColdFlags)
+{
+    InstrStream s;
+    s.loadUncached(2);
+    s.load(1, /*cold_miss=*/true);
+    s.storeUncached(1);
+    s.store(1, /*same_page=*/false);
+    EXPECT_TRUE(s.ops()[0].uncached);
+    EXPECT_TRUE(s.ops()[1].coldMiss);
+    EXPECT_TRUE(s.ops()[2].uncached);
+    EXPECT_FALSE(s.ops()[3].samePage);
+}
+
+TEST(HandlerProgram, SumsPhaseInstructions)
+{
+    InstrStream a, b;
+    a.alu(10);
+    b.store(5);
+    HandlerProgram p{Primitive::NullSyscall,
+                     {{PhaseKind::KernelEntryExit, a},
+                      {PhaseKind::CallPrep, b}}};
+    EXPECT_EQ(p.instructionCount(), 15u);
+}
+
+TEST(Primitives, NamesAreDistinct)
+{
+    EXPECT_STRNE(primitiveName(Primitive::NullSyscall),
+                 primitiveName(Primitive::Trap));
+    EXPECT_STRNE(primitiveName(Primitive::PteChange),
+                 primitiveName(Primitive::ContextSwitch));
+    EXPECT_EQ(std::size(allPrimitives), 4u);
+}
+
+TEST(Phases, NamesMatchTable5)
+{
+    EXPECT_STREQ(phaseName(PhaseKind::KernelEntryExit),
+                 "Kernel entry/exit");
+    EXPECT_STREQ(phaseName(PhaseKind::CallPrep), "Call preparation");
+    EXPECT_STREQ(phaseName(PhaseKind::CCallReturn), "Call/return to C");
+}
+
+} // namespace
+} // namespace aosd

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the instrumented simulated kernel (SimKernel):
+ * counting, charging, context-switch side effects, ASID recycling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machines.hh"
+#include "os/kernel/kernel.hh"
+
+namespace aosd
+{
+namespace
+{
+
+TEST(SimKernel, SyscallChargesAndCounts)
+{
+    SimKernel k(makeMachine(MachineId::R3000));
+    Cycles expected = sharedCostDb().cycles(MachineId::R3000,
+                                            Primitive::NullSyscall);
+    k.syscall();
+    k.syscall();
+    EXPECT_EQ(k.stats().get(kstat::syscalls), 2u);
+    EXPECT_EQ(k.elapsedCycles(), 2 * expected);
+    EXPECT_EQ(k.primitiveCycles(), 2 * expected);
+}
+
+TEST(SimKernel, TrapAndExceptionCounts)
+{
+    SimKernel k(makeMachine(MachineId::R3000));
+    k.trap();
+    k.otherException();
+    EXPECT_EQ(k.stats().get(kstat::traps), 1u);
+    EXPECT_EQ(k.stats().get(kstat::otherExceptions), 1u);
+}
+
+TEST(SimKernel, ContextSwitchCountsBothSwitchKinds)
+{
+    SimKernel k(makeMachine(MachineId::R3000));
+    AddressSpace &a = k.createSpace("a");
+    k.contextSwitchTo(a);
+    // An address-space switch implies a thread switch (Table 7 note).
+    EXPECT_EQ(k.stats().get(kstat::addrSpaceSwitches), 1u);
+    EXPECT_EQ(k.stats().get(kstat::threadSwitches), 1u);
+    k.threadSwitch();
+    EXPECT_EQ(k.stats().get(kstat::threadSwitches), 2u);
+    EXPECT_EQ(k.stats().get(kstat::addrSpaceSwitches), 1u);
+}
+
+TEST(SimKernel, SwitchToCurrentSpaceIsFree)
+{
+    SimKernel k(makeMachine(MachineId::R3000));
+    AddressSpace &a = k.createSpace("a");
+    k.contextSwitchTo(a);
+    Cycles before = k.elapsedCycles();
+    k.contextSwitchTo(a);
+    EXPECT_EQ(k.elapsedCycles(), before);
+    EXPECT_EQ(k.stats().get(kstat::addrSpaceSwitches), 1u);
+}
+
+TEST(SimKernel, UntaggedTlbPurgedOnSwitch)
+{
+    SimKernel k(makeMachine(MachineId::CVAX)); // untagged TLB
+    AddressSpace &a = k.createSpace("a");
+    AddressSpace &b = k.createSpace("b");
+    a.mapRange(0x100, 4, 0x900, {});
+    a.setWorkingSet(0x100, 4);
+    k.contextSwitchTo(a);
+    EXPECT_GT(k.tlb().validEntries(), 0u);
+    std::size_t after_a = k.tlb().validEntries();
+    k.contextSwitchTo(b);
+    // Purge happened; only b's (empty) refill remains.
+    EXPECT_LT(k.tlb().validEntries(), after_a + 1);
+    EXPECT_EQ(k.tlb().stats().get("full_purges"), 2u);
+}
+
+TEST(SimKernel, TaggedTlbSurvivesSwitch)
+{
+    SimKernel k(makeMachine(MachineId::R3000));
+    AddressSpace &a = k.createSpace("a");
+    AddressSpace &b = k.createSpace("b");
+    a.mapRange(0x100, 4, 0x900, {});
+    a.setWorkingSet(0x100, 4);
+    k.contextSwitchTo(a);
+    k.contextSwitchTo(b);
+    // a's entries still present under its ASID.
+    EXPECT_GE(k.tlb().entriesForAsid(a.asid()), 4u);
+}
+
+TEST(SimKernel, WorkingSetRefillCountsUserMisses)
+{
+    SimKernel k(makeMachine(MachineId::R3000));
+    AddressSpace &a = k.createSpace("a");
+    a.mapRange(0x100, 8, 0x900, {});
+    a.setWorkingSet(0x100, 8);
+    k.contextSwitchTo(a);
+    EXPECT_GE(k.stats().get(kstat::userTlbMisses), 8u);
+    std::uint64_t first = k.stats().get(kstat::userTlbMisses);
+    k.touchWorkingSet(); // warm now
+    EXPECT_EQ(k.stats().get(kstat::userTlbMisses), first);
+}
+
+TEST(SimKernel, KernelTouchesCountKernelMisses)
+{
+    SimKernel k(makeMachine(MachineId::R3000));
+    k.touchPages({0x800, 0x801}, /*kernel_space=*/true);
+    EXPECT_EQ(k.stats().get(kstat::kernelTlbMisses), 2u);
+    k.touchPages({0x800}, true); // warm
+    EXPECT_EQ(k.stats().get(kstat::kernelTlbMisses), 2u);
+}
+
+TEST(SimKernel, SoftwareKernelMissesAreExpensive)
+{
+    // MIPS: a kernel-space miss costs a few hundred cycles (s5).
+    SimKernel k(makeMachine(MachineId::R3000));
+    Cycles before = k.elapsedCycles();
+    k.touchPages({0xC00}, true);
+    Cycles cost = k.elapsedCycles() - before;
+    EXPECT_GE(cost, 300u);
+}
+
+TEST(SimKernel, EmulatedInstructions)
+{
+    SimKernel k(makeMachine(MachineId::R3000));
+    k.emulateInstructions(10);
+    k.emulateTestAndSet();
+    EXPECT_EQ(k.stats().get(kstat::emulatedInstrs), 11u);
+    EXPECT_GT(k.primitiveCycles(), 0u);
+}
+
+TEST(SimKernel, PteChangeInvalidatesTlbEntry)
+{
+    SimKernel k(makeMachine(MachineId::R3000));
+    AddressSpace &a = k.createSpace("a");
+    a.mapRange(0x100, 1, 0x900, {});
+    a.setWorkingSet(0x100, 1);
+    k.contextSwitchTo(a);
+    EXPECT_TRUE(k.tlb().lookup(0x100, a.asid()).hit);
+    PageProt ro;
+    ro.writable = false;
+    k.pteChange(a, 0x100, ro);
+    EXPECT_FALSE(k.tlb().lookup(0x100, a.asid()).hit);
+    EXPECT_EQ(k.stats().get(kstat::pteChanges), 1u);
+    // The page table itself was updated.
+    EXPECT_FALSE(a.pageTable().walk(0x100).pte->prot.writable);
+}
+
+TEST(SimKernel, AsidRecyclingPurgesStaleEntries)
+{
+    MachineDesc m = makeMachine(MachineId::R3000);
+    m.tlb.pidCount = 4; // tiny ASID space to force recycling
+    SimKernel k(m);
+    std::vector<AddressSpace *> spaces;
+    for (int i = 0; i < 10; ++i)
+        spaces.push_back(&k.createSpace("s" + std::to_string(i)));
+    // ASIDs must stay within the architectural range.
+    for (AddressSpace *s : spaces)
+        EXPECT_LT(s->asid(), 4u);
+}
+
+TEST(SimKernel, RunUserCodeScalesWithAppPerformance)
+{
+    SimKernel fast(makeMachine(MachineId::R3000));
+    SimKernel slow(makeMachine(MachineId::CVAX));
+    fast.runUserCode(1000000);
+    slow.runUserCode(1000000);
+    // Same work: the 6.7x machine finishes in much less time.
+    EXPECT_LT(fast.elapsedMicros() * 4, slow.elapsedMicros());
+}
+
+TEST(SimKernel, ResetAccountingClearsEverything)
+{
+    SimKernel k(makeMachine(MachineId::R3000));
+    k.syscall();
+    k.trap();
+    k.resetAccounting();
+    EXPECT_EQ(k.elapsedCycles(), 0u);
+    EXPECT_EQ(k.primitiveCycles(), 0u);
+    EXPECT_EQ(k.stats().get(kstat::syscalls), 0u);
+}
+
+TEST(SimKernel, ElapsedMicrosMatchesClock)
+{
+    SimKernel k(makeMachine(MachineId::R3000)); // 25 MHz
+    k.chargeCycles(25);
+    EXPECT_NEAR(k.elapsedMicros(), 1.0, 1e-9);
+    k.chargeMicros(9.0);
+    EXPECT_NEAR(k.elapsedMicros(), 10.0, 1e-9);
+}
+
+TEST(SimKernelDeathTest, SwitchToForeignSpacePanics)
+{
+    SimKernel k1(makeMachine(MachineId::R3000));
+    SimKernel k2(makeMachine(MachineId::R3000));
+    AddressSpace &foreign = k2.createSpace("foreign");
+    EXPECT_DEATH(k1.contextSwitchTo(foreign), "does not own");
+}
+
+} // namespace
+} // namespace aosd

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for machine descriptions: Table 6 state sizes, the
+ * architectural properties the paper's analysis depends on, and the
+ * factory lists.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machines.hh"
+
+namespace aosd
+{
+namespace
+{
+
+TEST(Machines, Table6StateSizes)
+{
+    // Registers / FP state / Misc state, exactly as in Table 6.
+    struct Row
+    {
+        MachineId id;
+        std::uint32_t regs, fp, misc;
+    };
+    const Row rows[] = {
+        {MachineId::CVAX, 16, 0, 1},   {MachineId::M88000, 32, 0, 27},
+        {MachineId::R2000, 32, 32, 5}, {MachineId::R3000, 32, 32, 5},
+        {MachineId::SPARC, 136, 32, 6}, {MachineId::I860, 32, 32, 9},
+        {MachineId::RS6000, 32, 64, 4},
+    };
+    for (const Row &r : rows) {
+        MachineDesc m = makeMachine(r.id);
+        EXPECT_EQ(m.intRegs, r.regs) << m.name;
+        EXPECT_EQ(m.fpStateWords, r.fp) << m.name;
+        EXPECT_EQ(m.miscStateWords, r.misc) << m.name;
+        EXPECT_EQ(m.threadStateWords(), r.regs + r.fp + r.misc);
+    }
+}
+
+TEST(Machines, ClockRates)
+{
+    EXPECT_NEAR(makeMachine(MachineId::CVAX).clock.mhz(), 11.1, 0.1);
+    EXPECT_NEAR(makeMachine(MachineId::M88000).clock.mhz(), 20.0, 0.1);
+    EXPECT_NEAR(makeMachine(MachineId::R2000).clock.mhz(), 16.67, 0.1);
+    EXPECT_NEAR(makeMachine(MachineId::R3000).clock.mhz(), 25.0, 0.1);
+    EXPECT_NEAR(makeMachine(MachineId::SPARC).clock.mhz(), 25.0, 0.1);
+}
+
+TEST(Machines, MipsHasNoAtomicOp)
+{
+    // s4.1: "The MIPS R2000/R3000 has no atomic semaphore instruction."
+    EXPECT_FALSE(makeMachine(MachineId::R2000).hasAtomicOp);
+    EXPECT_FALSE(makeMachine(MachineId::R3000).hasAtomicOp);
+    EXPECT_TRUE(makeMachine(MachineId::CVAX).hasAtomicOp);
+    EXPECT_TRUE(makeMachine(MachineId::SPARC).hasAtomicOp);
+    EXPECT_TRUE(makeMachine(MachineId::M88000).hasAtomicOp);
+}
+
+TEST(Machines, I860ProvidesNoFaultAddress)
+{
+    // s3.1: the i860 reports no faulting address.
+    EXPECT_FALSE(makeMachine(MachineId::I860).providesFaultAddress);
+    EXPECT_TRUE(makeMachine(MachineId::R3000).providesFaultAddress);
+}
+
+TEST(Machines, ExposedPipelines)
+{
+    // s3.1: 88000 and i860 expose pipeline state and freeze the FPU;
+    // RS6000, SPARC and R2/3000 implement precise interrupts.
+    MachineDesc m88k = makeMachine(MachineId::M88000);
+    EXPECT_TRUE(m88k.pipeline.exposed);
+    EXPECT_TRUE(m88k.pipeline.fpuFreezeHazard);
+    EXPECT_FALSE(m88k.pipeline.preciseInterrupts);
+    EXPECT_EQ(m88k.pipeline.stateRegs, 27u);
+
+    EXPECT_TRUE(makeMachine(MachineId::I860).pipeline.exposed);
+    EXPECT_TRUE(makeMachine(MachineId::RS6000).pipeline
+                    .preciseInterrupts);
+    EXPECT_TRUE(makeMachine(MachineId::SPARC).pipeline
+                    .preciseInterrupts);
+}
+
+TEST(Machines, RegisterWindowsOnlyOnSparc)
+{
+    for (const MachineDesc &m : allMachines()) {
+        if (m.id == MachineId::SPARC) {
+            EXPECT_EQ(m.regWindows.windows, 8u);
+            EXPECT_EQ(m.regWindows.regsPerWindow, 16u);
+            EXPECT_DOUBLE_EQ(m.regWindows.avgSaveRestorePerSwitch, 3.0);
+        } else {
+            EXPECT_EQ(m.regWindows.windows, 0u) << m.name;
+        }
+    }
+}
+
+TEST(Machines, TlbManagementStyles)
+{
+    // s3.2: MIPS loads its TLB in software; the others in hardware.
+    EXPECT_EQ(makeMachine(MachineId::R2000).tlb.management,
+              TlbManagement::Software);
+    EXPECT_EQ(makeMachine(MachineId::R3000).tlb.management,
+              TlbManagement::Software);
+    EXPECT_EQ(makeMachine(MachineId::CVAX).tlb.management,
+              TlbManagement::Hardware);
+    EXPECT_EQ(makeMachine(MachineId::SPARC).tlb.management,
+              TlbManagement::Hardware);
+}
+
+TEST(Machines, TlbTags)
+{
+    // s3.2: "Many of the newer RISCs have process ID tags"; the CVAX
+    // TLB is untagged (purged by LDPCTX).
+    EXPECT_FALSE(makeMachine(MachineId::CVAX).tlb.processIdTags);
+    EXPECT_TRUE(makeMachine(MachineId::R3000).tlb.processIdTags);
+    EXPECT_TRUE(makeMachine(MachineId::SPARC).tlb.processIdTags);
+    EXPECT_FALSE(makeMachine(MachineId::I860).tlb.processIdTags);
+}
+
+TEST(Machines, VirtualCaches)
+{
+    // Sun-4c and i860 are virtually addressed; i860 is untagged and
+    // must flush on switch.
+    MachineDesc sparc = makeMachine(MachineId::SPARC);
+    EXPECT_EQ(sparc.cache.indexing, CacheIndexing::Virtual);
+    EXPECT_FALSE(sparc.cache.flushOnContextSwitch);
+
+    MachineDesc i860 = makeMachine(MachineId::I860);
+    EXPECT_EQ(i860.cache.indexing, CacheIndexing::Virtual);
+    EXPECT_TRUE(i860.cache.flushOnContextSwitch);
+
+    EXPECT_EQ(makeMachine(MachineId::R3000).cache.indexing,
+              CacheIndexing::Physical);
+}
+
+TEST(Machines, WriteBufferConfigs)
+{
+    // s2.3: DS3100 4-deep stall-5; DS5000 6-deep same-page retire.
+    MachineDesc r2k = makeMachine(MachineId::R2000);
+    EXPECT_EQ(r2k.writeBuffer.depth, 4u);
+    EXPECT_EQ(r2k.writeBuffer.drainCycles, 5u);
+    EXPECT_FALSE(r2k.writeBuffer.samePageFastRetire);
+    EXPECT_TRUE(r2k.writeBuffer.readsWaitForDrain);
+
+    MachineDesc r3k = makeMachine(MachineId::R3000);
+    EXPECT_EQ(r3k.writeBuffer.depth, 6u);
+    EXPECT_TRUE(r3k.writeBuffer.samePageFastRetire);
+    EXPECT_FALSE(r3k.writeBuffer.readsWaitForDrain);
+}
+
+TEST(Machines, ApplicationPerformanceRow)
+{
+    // Bottom row of Table 1.
+    EXPECT_DOUBLE_EQ(makeMachine(MachineId::M88000).appPerfVsCvax, 3.5);
+    EXPECT_DOUBLE_EQ(makeMachine(MachineId::R2000).appPerfVsCvax, 4.2);
+    EXPECT_DOUBLE_EQ(makeMachine(MachineId::R3000).appPerfVsCvax, 6.7);
+    EXPECT_DOUBLE_EQ(makeMachine(MachineId::SPARC).appPerfVsCvax, 4.3);
+    EXPECT_FALSE(makeMachine(MachineId::SPARC).appPerfExtrapolated);
+    EXPECT_TRUE(makeMachine(MachineId::I860).appPerfExtrapolated);
+    EXPECT_TRUE(makeMachine(MachineId::RS6000).appPerfExtrapolated);
+}
+
+TEST(Machines, FactoryLists)
+{
+    EXPECT_EQ(table1Machines().size(), 5u);
+    EXPECT_EQ(table2Machines().size(), 5u);
+    EXPECT_EQ(table6Machines().size(), 6u);
+    EXPECT_EQ(allMachines().size(), 8u); // +Sun-3 (s2.1 baseline)
+    // Table 2 includes the i860 but not the R3000 (shares the R2000
+    // column); Table 6 adds the RS6000.
+    bool has_i860 = false, has_r3000 = false;
+    for (const MachineDesc &m : table2Machines()) {
+        has_i860 |= m.id == MachineId::I860;
+        has_r3000 |= m.id == MachineId::R3000;
+    }
+    EXPECT_TRUE(has_i860);
+    EXPECT_FALSE(has_r3000);
+}
+
+TEST(Machines, VectoringStyles)
+{
+    // s2.3: MIPS and i860 vector nearly everything through one
+    // handler; SPARC and 88000 are directly vectored; the VAX
+    // dispatches in microcode.
+    EXPECT_EQ(makeMachine(MachineId::R2000).vectoring,
+              TrapVectoring::CommonHandler);
+    EXPECT_EQ(makeMachine(MachineId::I860).vectoring,
+              TrapVectoring::CommonHandler);
+    EXPECT_EQ(makeMachine(MachineId::SPARC).vectoring,
+              TrapVectoring::DirectVectored);
+    EXPECT_EQ(makeMachine(MachineId::M88000).vectoring,
+              TrapVectoring::DirectVectored);
+    EXPECT_EQ(makeMachine(MachineId::CVAX).vectoring,
+              TrapVectoring::Microcoded);
+}
+
+} // namespace
+} // namespace aosd

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the multiprocessor thread runner (§4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machines.hh"
+#include "os/threads/multiprocessor.hh"
+
+namespace aosd
+{
+namespace
+{
+
+std::vector<WorkSlice>
+plainWork(int slices, Cycles each)
+{
+    return std::vector<WorkSlice>(static_cast<std::size_t>(slices),
+                                  WorkSlice{each, -1});
+}
+
+TEST(Multiprocessor, OneProcessorMatchesSerialWork)
+{
+    MpThreadRunner r(makeMachine(MachineId::R3000), ThreadLevel::User,
+                     1);
+    r.addThread(plainWork(10, 1000));
+    MpRunResult res = r.run();
+    // 10,000 cycles of work at 25 MHz = 400 us, plus nothing else
+    // (single thread, no switches).
+    EXPECT_NEAR(res.elapsedUs, 400.0, 1.0);
+    EXPECT_EQ(res.switches, 0u);
+}
+
+TEST(Multiprocessor, IndependentWorkScalesNearlyLinearly)
+{
+    auto elapsed = [](std::uint32_t procs) {
+        MpThreadRunner r(makeMachine(MachineId::R3000),
+                         ThreadLevel::User, procs);
+        for (int t = 0; t < 8; ++t)
+            r.addThread(plainWork(20, 2000));
+        return r.run().elapsedUs;
+    };
+    double p1 = elapsed(1);
+    double p4 = elapsed(4);
+    double p8 = elapsed(8);
+    EXPECT_GT(p1 / p4, 3.0);
+    EXPECT_GT(p1 / p8, 5.5);
+}
+
+TEST(Multiprocessor, MoreProcessorsThanThreadsIsHarmless)
+{
+    MpThreadRunner r(makeMachine(MachineId::R3000), ThreadLevel::User,
+                     16);
+    r.addThread(plainWork(5, 100));
+    r.addThread(plainWork(5, 100));
+    MpRunResult res = r.run();
+    EXPECT_GT(res.elapsedUs, 0.0);
+    EXPECT_LE(res.totalCpuUs, 2.1 * res.elapsedUs);
+}
+
+TEST(Multiprocessor, LockSerializationCapsSpeedup)
+{
+    // All work inside one lock: adding processors cannot help.
+    auto elapsed = [](std::uint32_t procs) {
+        MpThreadRunner r(makeMachine(MachineId::RS6000),
+                         ThreadLevel::User, procs);
+        r.setLockCount(1);
+        for (int t = 0; t < 4; ++t) {
+            std::vector<WorkSlice> s(
+                20, WorkSlice{500, 0, /*holdAcrossYield=*/true});
+            r.addThread(std::move(s));
+        }
+        return r.run();
+    };
+    MpRunResult p1 = elapsed(1);
+    MpRunResult p8 = elapsed(8);
+    // Wall time cannot shrink below the serialized locked work.
+    EXPECT_GT(p8.elapsedUs, 0.5 * p1.elapsedUs);
+    EXPECT_GT(p8.lockRetries, 0u);
+}
+
+TEST(Multiprocessor, KernelTrapLocksHurtScaling)
+{
+    // Same workload, MIPS (trap locks) vs a hypothetical MIPS with
+    // test&set: the atomic version scales better.
+    auto run = [](bool atomic) {
+        MachineDesc m = makeMachine(MachineId::R3000);
+        m.hasAtomicOp = atomic;
+        MpThreadRunner r(m, ThreadLevel::User, 8);
+        r.setLockCount(1);
+        for (int t = 0; t < 8; ++t) {
+            std::vector<WorkSlice> s;
+            for (int i = 0; i < 30; ++i) {
+                s.push_back({40, 0});
+                s.push_back({800, -1});
+            }
+            r.addThread(std::move(s));
+        }
+        return r.run().elapsedUs;
+    };
+    EXPECT_GT(run(false), 1.2 * run(true));
+}
+
+TEST(Multiprocessor, CountsAcquiresExactly)
+{
+    MpThreadRunner r(makeMachine(MachineId::RS6000), ThreadLevel::User,
+                     4);
+    r.setLockCount(2);
+    r.addThread({{10, 0}, {10, 1}, {10, -1}});
+    r.addThread({{10, 1}, {10, 0}});
+    MpRunResult res = r.run();
+    EXPECT_EQ(res.lockAcquires, 4u);
+}
+
+TEST(Multiprocessor, Deterministic)
+{
+    auto run = [] {
+        MpThreadRunner r(makeMachine(MachineId::SPARC),
+                         ThreadLevel::Kernel, 3);
+        r.setLockCount(1);
+        for (int t = 0; t < 5; ++t)
+            r.addThread({{100, 0, true}, {200, -1}, {50, 0}});
+        return r.run();
+    };
+    MpRunResult a = run();
+    MpRunResult b = run();
+    EXPECT_DOUBLE_EQ(a.elapsedUs, b.elapsedUs);
+    EXPECT_EQ(a.lockRetries, b.lockRetries);
+}
+
+TEST(MultiprocessorDeathTest, BadLockIdPanics)
+{
+    MpThreadRunner r(makeMachine(MachineId::R3000), ThreadLevel::User,
+                     2);
+    r.addThread({{10, 5}});
+    EXPECT_DEATH(r.run(), "lock");
+}
+
+} // namespace
+} // namespace aosd

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the Synapse call/switch experiment (§4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machines.hh"
+#include "workload/synapse.hh"
+
+namespace aosd
+{
+namespace
+{
+
+TEST(Synapse, RatiosSpanPaperRange)
+{
+    auto runs = synapseExperiments();
+    ASSERT_GE(runs.size(), 2u);
+    double lo = 1e9, hi = 0;
+    for (const auto &r : runs) {
+        lo = std::min(lo, r.callSwitchRatio());
+        hi = std::max(hi, r.callSwitchRatio());
+    }
+    // "the ratio of procedure calls to context switches varied from
+    // 21:1 to 42:1".
+    EXPECT_NEAR(lo, 21.0, 0.5);
+    EXPECT_NEAR(hi, 42.0, 0.5);
+}
+
+TEST(Synapse, SwitchesDominateOnSparc)
+{
+    // s4.1: "on a SPARC Synapse would spend more of its time doing
+    // context switches than procedure calls".
+    MachineDesc sparc = makeMachine(MachineId::SPARC);
+    for (const auto &run : synapseExperiments()) {
+        SynapseCostResult r = priceSynapseRun(sparc, run);
+        EXPECT_TRUE(r.switchesDominate()) << run.name;
+    }
+}
+
+TEST(Synapse, CallsDominateOnLowStateMachines)
+{
+    // The RS6000 (modest state, precise interrupts) and the CVAX
+    // (tiny state) don't flip the balance at these ratios.
+    for (MachineId id : {MachineId::RS6000, MachineId::CVAX}) {
+        MachineDesc m = makeMachine(id);
+        SynapseRun coarse = synapseExperiments().back(); // 42:1
+        SynapseCostResult r = priceSynapseRun(m, coarse);
+        EXPECT_FALSE(r.switchesDominate()) << m.name;
+    }
+}
+
+TEST(Synapse, ZeroSwitchesGivesZeroRatio)
+{
+    SynapseRun degenerate{"degenerate", 100, 0};
+    EXPECT_DOUBLE_EQ(degenerate.callSwitchRatio(), 0.0);
+}
+
+TEST(Synapse, CostsScaleWithCounts)
+{
+    MachineDesc m = makeMachine(MachineId::SPARC);
+    SynapseRun run{"r", 1000, 100};
+    SynapseRun doubled{"r2", 2000, 200};
+    SynapseCostResult a = priceSynapseRun(m, run);
+    SynapseCostResult b = priceSynapseRun(m, doubled);
+    EXPECT_NEAR(b.callTimeUs, 2 * a.callTimeUs, 1e-6);
+    EXPECT_NEAR(b.switchTimeUs, 2 * a.switchTimeUs, 1e-6);
+}
+
+} // namespace
+} // namespace aosd

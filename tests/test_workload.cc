@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the §5 workload engine: profile integrity, determinism,
+ * and the structural properties Table 7 demonstrates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machines.hh"
+#include "workload/app_profile.hh"
+#include <map>
+
+#include "workload/os_model.hh"
+
+namespace aosd
+{
+namespace
+{
+
+TEST(Workloads, SevenProfilesInPaperOrder)
+{
+    auto apps = table7Workloads();
+    ASSERT_EQ(apps.size(), 7u);
+    EXPECT_EQ(apps[0].name, "spellcheck-1");
+    EXPECT_EQ(apps[1].name, "latex-150");
+    EXPECT_EQ(apps[2].name, "andrew-local");
+    EXPECT_EQ(apps[3].name, "andrew-remote");
+    EXPECT_EQ(apps[4].name, "link-vmunix");
+    EXPECT_EQ(apps[5].name, "parthenon (1 thread)");
+    EXPECT_EQ(apps[6].name, "parthenon (10 threads)");
+}
+
+TEST(Workloads, ServiceCallCountsComeFromPaper)
+{
+    EXPECT_EQ(workloadByName("latex-150").unixServiceCalls, 5513u);
+    EXPECT_EQ(workloadByName("andrew-remote").unixServiceCalls,
+              35498u);
+    EXPECT_EQ(workloadByName("parthenon (1 thread)").lockOps,
+              1395555u);
+}
+
+TEST(Workloads, LookupUnknownIsFatal)
+{
+    EXPECT_EXIT(workloadByName("no-such-app"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(MachSystem, DeterministicPerSeed)
+{
+    MachineDesc m = makeMachine(MachineId::R3000);
+    AppProfile app = workloadByName("spellcheck-1");
+    MachSystem a(m, OsStructure::SmallKernel);
+    MachSystem b(m, OsStructure::SmallKernel);
+    Table7Row ra = a.run(app);
+    Table7Row rb = b.run(app);
+    EXPECT_EQ(ra.systemCalls, rb.systemCalls);
+    EXPECT_EQ(ra.kernelTlbMisses, rb.kernelTlbMisses);
+    EXPECT_DOUBLE_EQ(ra.elapsedSeconds, rb.elapsedSeconds);
+}
+
+TEST(MachSystem, SeedChangesDetailsNotShape)
+{
+    MachineDesc m = makeMachine(MachineId::R3000);
+    AppProfile app = workloadByName("spellcheck-1");
+    OsModelConfig c1, c2;
+    c2.seed = 999;
+    Table7Row r1 = MachSystem(m, OsStructure::SmallKernel, c1).run(app);
+    Table7Row r2 = MachSystem(m, OsStructure::SmallKernel, c2).run(app);
+    EXPECT_NE(r1.kernelTlbMisses, r2.kernelTlbMisses);
+    EXPECT_NEAR(static_cast<double>(r1.systemCalls),
+                static_cast<double>(r2.systemCalls),
+                0.1 * static_cast<double>(r1.systemCalls));
+}
+
+/** Cached runner: MachSystem runs are deterministic, so each
+ *  (workload, structure) pair is simulated once per test binary. */
+const Table7Row &
+cachedRun(const std::string &app, OsStructure s)
+{
+    static std::map<std::pair<std::string, int>, Table7Row> cache;
+    auto key = std::make_pair(app, static_cast<int>(s));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        MachSystem sys(makeMachine(MachineId::R3000), s);
+        it = cache.emplace(key, sys.run(workloadByName(app))).first;
+    }
+    return it->second;
+}
+
+/** Structural properties, parameterized over every workload. */
+class StructureTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const Table7Row &
+    run(OsStructure s)
+    {
+        return cachedRun(GetParam(), s);
+    }
+};
+
+TEST_P(StructureTest, DecompositionMultipliesSyscalls)
+{
+    Table7Row mono = run(OsStructure::Monolithic);
+    Table7Row micro = run(OsStructure::SmallKernel);
+    EXPECT_GT(micro.systemCalls, mono.systemCalls);
+}
+
+TEST_P(StructureTest, DecompositionMultipliesContextSwitches)
+{
+    Table7Row mono = run(OsStructure::Monolithic);
+    Table7Row micro = run(OsStructure::SmallKernel);
+    EXPECT_GT(micro.addressSpaceSwitches,
+              3 * mono.addressSpaceSwitches);
+    EXPECT_GE(micro.threadSwitches, micro.addressSpaceSwitches);
+}
+
+TEST_P(StructureTest, DecompositionInflatesKernelTlbMisses)
+{
+    Table7Row mono = run(OsStructure::Monolithic);
+    Table7Row micro = run(OsStructure::SmallKernel);
+    EXPECT_GT(micro.kernelTlbMisses, 2 * mono.kernelTlbMisses);
+}
+
+TEST_P(StructureTest, DecompositionNeverSpeedsThingsUp)
+{
+    Table7Row mono = run(OsStructure::Monolithic);
+    Table7Row micro = run(OsStructure::SmallKernel);
+    EXPECT_GE(micro.elapsedSeconds, mono.elapsedSeconds * 0.99);
+}
+
+TEST_P(StructureTest, PrimitiveShareIsSignificantWhenDecomposed)
+{
+    Table7Row micro = run(OsStructure::SmallKernel);
+    // s5: most applications spend noticeable time in primitives.
+    EXPECT_GT(micro.percentTimeInPrimitives, 0.5);
+    EXPECT_LT(micro.percentTimeInPrimitives, 40.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, StructureTest,
+    ::testing::Values("spellcheck-1", "latex-150", "andrew-local",
+                      "andrew-remote", "link-vmunix",
+                      "parthenon (1 thread)",
+                      "parthenon (10 threads)"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &ch : name)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+// ---- calibration against the paper's Mach 2.5 column ----------------
+
+TEST(Table7Calibration, MonolithicCountsNearPaper)
+{
+    for (const AppProfile &app : table7Workloads()) {
+        const Table7Row &sim =
+            cachedRun(app.name, OsStructure::Monolithic);
+        Table7Row paper = paperTable7Row(app.name,
+                                         OsStructure::Monolithic);
+        ASSERT_GT(paper.elapsedSeconds, 0.0) << app.name;
+        EXPECT_NEAR(sim.elapsedSeconds, paper.elapsedSeconds,
+                    0.15 * paper.elapsedSeconds)
+            << app.name;
+        EXPECT_EQ(sim.systemCalls, paper.systemCalls) << app.name;
+        // Counts driven by stochastic spreading: within 2x.
+        EXPECT_LT(sim.addressSpaceSwitches,
+                  2.2 * paper.addressSpaceSwitches) << app.name;
+        EXPECT_GT(static_cast<double>(sim.kernelTlbMisses),
+                  0.4 * static_cast<double>(paper.kernelTlbMisses))
+            << app.name;
+        EXPECT_LT(static_cast<double>(sim.kernelTlbMisses),
+                  2.5 * static_cast<double>(paper.kernelTlbMisses))
+            << app.name;
+    }
+}
+
+TEST(Table7Calibration, DecomposedRatiosNearPaper)
+{
+    for (const AppProfile &app : table7Workloads()) {
+        const Table7Row &sim =
+            cachedRun(app.name, OsStructure::SmallKernel);
+        Table7Row paper = paperTable7Row(app.name,
+                                         OsStructure::SmallKernel);
+        // System calls are the best-understood column: within 10%.
+        EXPECT_NEAR(static_cast<double>(sim.systemCalls),
+                    static_cast<double>(paper.systemCalls),
+                    0.10 * static_cast<double>(paper.systemCalls))
+            << app.name;
+        // Switch counts within 25%.
+        EXPECT_NEAR(
+            static_cast<double>(sim.addressSpaceSwitches),
+            static_cast<double>(paper.addressSpaceSwitches),
+            0.25 * static_cast<double>(paper.addressSpaceSwitches))
+            << app.name;
+        // Emulated instructions within 10%.
+        EXPECT_NEAR(
+            static_cast<double>(sim.emulatedInstructions),
+            static_cast<double>(paper.emulatedInstructions),
+            0.10 * static_cast<double>(paper.emulatedInstructions))
+            << app.name;
+    }
+}
+
+TEST(Table7Calibration, AndrewRemoteSwitchInflationNearPaper)
+{
+    // "a 33-fold increase in context switches for the remote Andrew
+    // benchmark on Mach 3.0 over Mach 2.5" (s5).
+    const Table7Row &mono =
+        cachedRun("andrew-remote", OsStructure::Monolithic);
+    const Table7Row &micro =
+        cachedRun("andrew-remote", OsStructure::SmallKernel);
+    double inflation =
+        static_cast<double>(micro.addressSpaceSwitches) /
+        static_cast<double>(mono.addressSpaceSwitches);
+    EXPECT_GT(inflation, 20.0);
+    EXPECT_LT(inflation, 45.0);
+}
+
+TEST(Table7Calibration, KernelTlbMissesInflateByOrderOfMagnitude)
+{
+    // s5: decomposition "increase[s] the number of second-level
+    // misses by an order of magnitude".
+    const Table7Row &mono =
+        cachedRun("latex-150", OsStructure::Monolithic);
+    const Table7Row &micro =
+        cachedRun("latex-150", OsStructure::SmallKernel);
+    EXPECT_GT(micro.kernelTlbMisses, 4 * mono.kernelTlbMisses);
+}
+
+TEST(Table7Calibration, ParthenonEmulationIsTestAndSetBound)
+{
+    AppProfile app = workloadByName("parthenon (1 thread)");
+    const Table7Row &mono =
+        cachedRun(app.name, OsStructure::Monolithic);
+    EXPECT_EQ(mono.emulatedInstructions, app.lockOps);
+}
+
+TEST(PaperTable7, UnknownAppReturnsZeros)
+{
+    Table7Row r = paperTable7Row("nonexistent",
+                                 OsStructure::Monolithic);
+    EXPECT_EQ(r.systemCalls, 0u);
+    EXPECT_DOUBLE_EQ(r.elapsedSeconds, 0.0);
+}
+
+} // namespace
+} // namespace aosd

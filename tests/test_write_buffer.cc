@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the write buffer timing model (§2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/write_buffer.hh"
+
+namespace aosd
+{
+namespace
+{
+
+TEST(WriteBuffer, NoStallWhileNotFull)
+{
+    WriteBuffer wb({4, 5, false, 5, false});
+    EXPECT_EQ(wb.store(1, true), 0u);
+    EXPECT_EQ(wb.store(2, true), 0u);
+    EXPECT_EQ(wb.store(3, true), 0u);
+    EXPECT_EQ(wb.store(4, true), 0u);
+    EXPECT_EQ(wb.occupancy(4), 4u);
+}
+
+TEST(WriteBuffer, StallsWhenFull)
+{
+    WriteBuffer wb({4, 5, false, 5, false});
+    for (Cycles c = 1; c <= 4; ++c)
+        wb.store(c, true);
+    // Oldest write completes at 1+5=6; a store at cycle 5 must wait.
+    Cycles stall = wb.store(5, true);
+    EXPECT_EQ(stall, 1u);
+}
+
+TEST(WriteBuffer, SteadyStateBurstCostsDrainRate)
+{
+    // A long burst of back-to-back stores approaches one store per
+    // drain period (the DS3100's "stall 5 cycles on every successive
+    // write once the buffer is full").
+    WriteBuffer wb({4, 5, false, 5, false});
+    Cycles now = 0;
+    Cycles total_stall = 0;
+    for (int i = 0; i < 100; ++i) {
+        now += 1;
+        Cycles stall = wb.store(now, true);
+        total_stall += stall;
+        now += stall;
+    }
+    // 100 stores in ~500 cycles: ~4 stall cycles per store.
+    EXPECT_NEAR(static_cast<double>(total_stall) / 100.0, 4.0, 0.5);
+}
+
+TEST(WriteBuffer, DrainsDuringIdleCycles)
+{
+    WriteBuffer wb({4, 5, false, 5, false});
+    Cycles now = 0;
+    for (int i = 0; i < 4; ++i)
+        wb.store(++now, true);
+    // 30 idle cycles: buffer fully drains; next store is free.
+    now += 30;
+    EXPECT_EQ(wb.occupancy(now), 0u);
+    EXPECT_EQ(wb.store(now, true), 0u);
+}
+
+TEST(WriteBuffer, SamePageFastRetire)
+{
+    // DS5000: same-page writes retire one per cycle; a long burst
+    // never fills the 6-deep buffer.
+    WriteBuffer wb({6, 4, true, 1, false});
+    Cycles now = 0;
+    Cycles total_stall = 0;
+    for (int i = 0; i < 50; ++i) {
+        now += 1;
+        total_stall += wb.store(now, true);
+    }
+    EXPECT_EQ(total_stall, 0u);
+}
+
+TEST(WriteBuffer, DifferentPageWritesStillStallFastBuffer)
+{
+    WriteBuffer wb({6, 4, true, 1, false});
+    Cycles now = 0;
+    Cycles total_stall = 0;
+    for (int i = 0; i < 50; ++i) {
+        now += 1;
+        Cycles stall = wb.store(now, /*same_page=*/false);
+        total_stall += stall;
+        now += stall;
+    }
+    EXPECT_GT(total_stall, 50u);
+}
+
+TEST(WriteBuffer, DrainTimeReflectsBacklog)
+{
+    WriteBuffer wb({4, 5, false, 5, false});
+    EXPECT_EQ(wb.drainTime(0), 0u);
+    wb.store(1, true);
+    wb.store(2, true);
+    // Second write retires after the first: at 1+5+5 = 11.
+    EXPECT_EQ(wb.drainTime(2), 9u);
+    EXPECT_EQ(wb.drainTime(11), 0u);
+}
+
+TEST(WriteBuffer, ResetEmptiesBuffer)
+{
+    WriteBuffer wb({2, 5, false, 5, false});
+    wb.store(1, true);
+    wb.store(2, true);
+    wb.reset();
+    EXPECT_EQ(wb.occupancy(2), 0u);
+    EXPECT_EQ(wb.store(3, true), 0u);
+}
+
+TEST(WriteBuffer, DepthZeroBehavesAsDepthOne)
+{
+    WriteBuffer wb({0, 6, false, 6, false});
+    Cycles now = 1;
+    EXPECT_EQ(wb.store(now, true), 0u);
+    Cycles stall = wb.store(now + 1, true);
+    EXPECT_GT(stall, 0u);
+}
+
+TEST(WriteBuffer, DeeperBufferAbsorbsBiggerBursts)
+{
+    auto burst_stall = [](std::uint32_t depth) {
+        WriteBuffer wb({depth, 5, false, 5, false});
+        Cycles now = 0, total = 0;
+        for (int i = 0; i < 12; ++i) {
+            now += 1;
+            Cycles s = wb.store(now, true);
+            total += s;
+            now += s;
+        }
+        return total;
+    };
+    EXPECT_GT(burst_stall(2), burst_stall(4));
+    EXPECT_GT(burst_stall(4), burst_stall(8));
+    EXPECT_EQ(burst_stall(16), 0u); // burst fits entirely
+}
+
+} // namespace
+} // namespace aosd
