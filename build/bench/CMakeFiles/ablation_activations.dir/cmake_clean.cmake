@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_activations.dir/ablation_activations.cc.o"
+  "CMakeFiles/ablation_activations.dir/ablation_activations.cc.o.d"
+  "ablation_activations"
+  "ablation_activations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_activations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arch_fixes.dir/ablation_arch_fixes.cc.o"
+  "CMakeFiles/ablation_arch_fixes.dir/ablation_arch_fixes.cc.o.d"
+  "ablation_arch_fixes"
+  "ablation_arch_fixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arch_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

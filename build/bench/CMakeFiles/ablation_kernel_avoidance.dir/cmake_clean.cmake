@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kernel_avoidance.dir/ablation_kernel_avoidance.cc.o"
+  "CMakeFiles/ablation_kernel_avoidance.dir/ablation_kernel_avoidance.cc.o.d"
+  "ablation_kernel_avoidance"
+  "ablation_kernel_avoidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernel_avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiprocessor.dir/ablation_multiprocessor.cc.o"
+  "CMakeFiles/ablation_multiprocessor.dir/ablation_multiprocessor.cc.o.d"
+  "ablation_multiprocessor"
+  "ablation_multiprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

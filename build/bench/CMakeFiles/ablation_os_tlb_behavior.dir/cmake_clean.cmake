@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_os_tlb_behavior.dir/ablation_os_tlb_behavior.cc.o"
+  "CMakeFiles/ablation_os_tlb_behavior.dir/ablation_os_tlb_behavior.cc.o.d"
+  "ablation_os_tlb_behavior"
+  "ablation_os_tlb_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_os_tlb_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reg_windows.dir/ablation_reg_windows.cc.o"
+  "CMakeFiles/ablation_reg_windows.dir/ablation_reg_windows.cc.o.d"
+  "ablation_reg_windows"
+  "ablation_reg_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reg_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

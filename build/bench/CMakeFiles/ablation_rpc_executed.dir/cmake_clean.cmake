@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rpc_executed.dir/ablation_rpc_executed.cc.o"
+  "CMakeFiles/ablation_rpc_executed.dir/ablation_rpc_executed.cc.o.d"
+  "ablation_rpc_executed"
+  "ablation_rpc_executed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rpc_executed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

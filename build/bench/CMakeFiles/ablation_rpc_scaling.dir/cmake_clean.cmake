@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rpc_scaling.dir/ablation_rpc_scaling.cc.o"
+  "CMakeFiles/ablation_rpc_scaling.dir/ablation_rpc_scaling.cc.o.d"
+  "ablation_rpc_scaling"
+  "ablation_rpc_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rpc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

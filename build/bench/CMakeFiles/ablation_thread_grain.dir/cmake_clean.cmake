@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thread_grain.dir/ablation_thread_grain.cc.o"
+  "CMakeFiles/ablation_thread_grain.dir/ablation_thread_grain.cc.o.d"
+  "ablation_thread_grain"
+  "ablation_thread_grain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thread_grain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

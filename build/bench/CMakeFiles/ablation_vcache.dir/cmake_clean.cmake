@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vcache.dir/ablation_vcache.cc.o"
+  "CMakeFiles/ablation_vcache.dir/ablation_vcache.cc.o.d"
+  "ablation_vcache"
+  "ablation_vcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

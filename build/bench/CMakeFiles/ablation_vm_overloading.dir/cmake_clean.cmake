@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vm_overloading.dir/ablation_vm_overloading.cc.o"
+  "CMakeFiles/ablation_vm_overloading.dir/ablation_vm_overloading.cc.o.d"
+  "ablation_vm_overloading"
+  "ablation_vm_overloading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vm_overloading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

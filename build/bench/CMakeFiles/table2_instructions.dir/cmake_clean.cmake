@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_instructions.dir/table2_instructions.cc.o"
+  "CMakeFiles/table2_instructions.dir/table2_instructions.cc.o.d"
+  "table2_instructions"
+  "table2_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

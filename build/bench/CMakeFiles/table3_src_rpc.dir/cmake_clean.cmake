@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_src_rpc.dir/table3_src_rpc.cc.o"
+  "CMakeFiles/table3_src_rpc.dir/table3_src_rpc.cc.o.d"
+  "table3_src_rpc"
+  "table3_src_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_src_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_lrpc.dir/table4_lrpc.cc.o"
+  "CMakeFiles/table4_lrpc.dir/table4_lrpc.cc.o.d"
+  "table4_lrpc"
+  "table4_lrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_lrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

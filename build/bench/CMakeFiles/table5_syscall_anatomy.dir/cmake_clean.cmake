@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_syscall_anatomy.dir/table5_syscall_anatomy.cc.o"
+  "CMakeFiles/table5_syscall_anatomy.dir/table5_syscall_anatomy.cc.o.d"
+  "table5_syscall_anatomy"
+  "table5_syscall_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_syscall_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

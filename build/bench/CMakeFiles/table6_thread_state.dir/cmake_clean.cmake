@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_thread_state.dir/table6_thread_state.cc.o"
+  "CMakeFiles/table6_thread_state.dir/table6_thread_state.cc.o.d"
+  "table6_thread_state"
+  "table6_thread_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_thread_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

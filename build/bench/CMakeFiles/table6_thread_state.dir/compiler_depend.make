@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_thread_state.
+# This may be replaced when dependencies are built.

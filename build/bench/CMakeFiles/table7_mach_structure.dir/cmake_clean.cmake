@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_mach_structure.dir/table7_mach_structure.cc.o"
+  "CMakeFiles/table7_mach_structure.dir/table7_mach_structure.cc.o.d"
+  "table7_mach_structure"
+  "table7_mach_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_mach_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_arch_designer.dir/arch_designer.cpp.o"
+  "CMakeFiles/example_arch_designer.dir/arch_designer.cpp.o.d"
+  "example_arch_designer"
+  "example_arch_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_arch_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

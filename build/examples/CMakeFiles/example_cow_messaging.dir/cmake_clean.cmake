@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cow_messaging.dir/cow_messaging.cpp.o"
+  "CMakeFiles/example_cow_messaging.dir/cow_messaging.cpp.o.d"
+  "example_cow_messaging"
+  "example_cow_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cow_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_cow_messaging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dsm_sharing.dir/dsm_sharing.cpp.o"
+  "CMakeFiles/example_dsm_sharing.dir/dsm_sharing.cpp.o.d"
+  "example_dsm_sharing"
+  "example_dsm_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dsm_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

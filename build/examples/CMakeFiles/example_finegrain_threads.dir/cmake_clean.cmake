@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_finegrain_threads.dir/finegrain_threads.cpp.o"
+  "CMakeFiles/example_finegrain_threads.dir/finegrain_threads.cpp.o.d"
+  "example_finegrain_threads"
+  "example_finegrain_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_finegrain_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

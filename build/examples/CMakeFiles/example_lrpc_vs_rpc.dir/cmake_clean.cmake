@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lrpc_vs_rpc.dir/lrpc_vs_rpc.cpp.o"
+  "CMakeFiles/example_lrpc_vs_rpc.dir/lrpc_vs_rpc.cpp.o.d"
+  "example_lrpc_vs_rpc"
+  "example_lrpc_vs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lrpc_vs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

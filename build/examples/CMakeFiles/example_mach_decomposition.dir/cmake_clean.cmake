@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mach_decomposition.dir/mach_decomposition.cpp.o"
+  "CMakeFiles/example_mach_decomposition.dir/mach_decomposition.cpp.o.d"
+  "example_mach_decomposition"
+  "example_mach_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mach_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

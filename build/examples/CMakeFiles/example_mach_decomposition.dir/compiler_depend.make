@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_mach_decomposition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rpc_file_server.dir/rpc_file_server.cpp.o"
+  "CMakeFiles/example_rpc_file_server.dir/rpc_file_server.cpp.o.d"
+  "example_rpc_file_server"
+  "example_rpc_file_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rpc_file_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

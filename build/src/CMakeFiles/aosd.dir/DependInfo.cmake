@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/isa.cc" "src/CMakeFiles/aosd.dir/arch/isa.cc.o" "gcc" "src/CMakeFiles/aosd.dir/arch/isa.cc.o.d"
+  "/root/repo/src/arch/machines.cc" "src/CMakeFiles/aosd.dir/arch/machines.cc.o" "gcc" "src/CMakeFiles/aosd.dir/arch/machines.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/CMakeFiles/aosd.dir/core/study.cc.o" "gcc" "src/CMakeFiles/aosd.dir/core/study.cc.o.d"
+  "/root/repo/src/cpu/exec_model.cc" "src/CMakeFiles/aosd.dir/cpu/exec_model.cc.o" "gcc" "src/CMakeFiles/aosd.dir/cpu/exec_model.cc.o.d"
+  "/root/repo/src/cpu/handler_variants.cc" "src/CMakeFiles/aosd.dir/cpu/handler_variants.cc.o" "gcc" "src/CMakeFiles/aosd.dir/cpu/handler_variants.cc.o.d"
+  "/root/repo/src/cpu/handlers.cc" "src/CMakeFiles/aosd.dir/cpu/handlers.cc.o" "gcc" "src/CMakeFiles/aosd.dir/cpu/handlers.cc.o.d"
+  "/root/repo/src/cpu/primitive_costs.cc" "src/CMakeFiles/aosd.dir/cpu/primitive_costs.cc.o" "gcc" "src/CMakeFiles/aosd.dir/cpu/primitive_costs.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/aosd.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/aosd.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/aosd.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/aosd.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/CMakeFiles/aosd.dir/mem/phys_mem.cc.o" "gcc" "src/CMakeFiles/aosd.dir/mem/phys_mem.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/aosd.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/aosd.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/mem/write_buffer.cc" "src/CMakeFiles/aosd.dir/mem/write_buffer.cc.o" "gcc" "src/CMakeFiles/aosd.dir/mem/write_buffer.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/aosd.dir/net/network.cc.o" "gcc" "src/CMakeFiles/aosd.dir/net/network.cc.o.d"
+  "/root/repo/src/os/ipc/binding.cc" "src/CMakeFiles/aosd.dir/os/ipc/binding.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/ipc/binding.cc.o.d"
+  "/root/repo/src/os/ipc/lrpc.cc" "src/CMakeFiles/aosd.dir/os/ipc/lrpc.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/ipc/lrpc.cc.o.d"
+  "/root/repo/src/os/ipc/message.cc" "src/CMakeFiles/aosd.dir/os/ipc/message.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/ipc/message.cc.o.d"
+  "/root/repo/src/os/ipc/ports.cc" "src/CMakeFiles/aosd.dir/os/ipc/ports.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/ipc/ports.cc.o.d"
+  "/root/repo/src/os/ipc/rpc.cc" "src/CMakeFiles/aosd.dir/os/ipc/rpc.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/ipc/rpc.cc.o.d"
+  "/root/repo/src/os/ipc/rpc_sim.cc" "src/CMakeFiles/aosd.dir/os/ipc/rpc_sim.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/ipc/rpc_sim.cc.o.d"
+  "/root/repo/src/os/ipc/urpc.cc" "src/CMakeFiles/aosd.dir/os/ipc/urpc.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/ipc/urpc.cc.o.d"
+  "/root/repo/src/os/kernel/address_space.cc" "src/CMakeFiles/aosd.dir/os/kernel/address_space.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/kernel/address_space.cc.o.d"
+  "/root/repo/src/os/kernel/kernel.cc" "src/CMakeFiles/aosd.dir/os/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/kernel/kernel.cc.o.d"
+  "/root/repo/src/os/kernel/scheduler.cc" "src/CMakeFiles/aosd.dir/os/kernel/scheduler.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/kernel/scheduler.cc.o.d"
+  "/root/repo/src/os/threads/activations.cc" "src/CMakeFiles/aosd.dir/os/threads/activations.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/threads/activations.cc.o.d"
+  "/root/repo/src/os/threads/multiprocessor.cc" "src/CMakeFiles/aosd.dir/os/threads/multiprocessor.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/threads/multiprocessor.cc.o.d"
+  "/root/repo/src/os/threads/sync.cc" "src/CMakeFiles/aosd.dir/os/threads/sync.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/threads/sync.cc.o.d"
+  "/root/repo/src/os/threads/thread.cc" "src/CMakeFiles/aosd.dir/os/threads/thread.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/threads/thread.cc.o.d"
+  "/root/repo/src/os/threads/thread_package.cc" "src/CMakeFiles/aosd.dir/os/threads/thread_package.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/threads/thread_package.cc.o.d"
+  "/root/repo/src/os/vm/dsm.cc" "src/CMakeFiles/aosd.dir/os/vm/dsm.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/vm/dsm.cc.o.d"
+  "/root/repo/src/os/vm/vm_clients.cc" "src/CMakeFiles/aosd.dir/os/vm/vm_clients.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/vm/vm_clients.cc.o.d"
+  "/root/repo/src/os/vm/vm_manager.cc" "src/CMakeFiles/aosd.dir/os/vm/vm_manager.cc.o" "gcc" "src/CMakeFiles/aosd.dir/os/vm/vm_manager.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/aosd.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/aosd.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/aosd.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/aosd.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/aosd.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/aosd.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/CMakeFiles/aosd.dir/sim/table.cc.o" "gcc" "src/CMakeFiles/aosd.dir/sim/table.cc.o.d"
+  "/root/repo/src/workload/os_model.cc" "src/CMakeFiles/aosd.dir/workload/os_model.cc.o" "gcc" "src/CMakeFiles/aosd.dir/workload/os_model.cc.o.d"
+  "/root/repo/src/workload/ref_trace.cc" "src/CMakeFiles/aosd.dir/workload/ref_trace.cc.o" "gcc" "src/CMakeFiles/aosd.dir/workload/ref_trace.cc.o.d"
+  "/root/repo/src/workload/synapse.cc" "src/CMakeFiles/aosd.dir/workload/synapse.cc.o" "gcc" "src/CMakeFiles/aosd.dir/workload/synapse.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/CMakeFiles/aosd.dir/workload/workloads.cc.o" "gcc" "src/CMakeFiles/aosd.dir/workload/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_activations_rpcsim.cc" "tests/CMakeFiles/aosd_tests.dir/test_activations_rpcsim.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_activations_rpcsim.cc.o.d"
+  "/root/repo/tests/test_address_space.cc" "tests/CMakeFiles/aosd_tests.dir/test_address_space.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_address_space.cc.o.d"
+  "/root/repo/tests/test_binding.cc" "tests/CMakeFiles/aosd_tests.dir/test_binding.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_binding.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/aosd_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_dsm.cc" "tests/CMakeFiles/aosd_tests.dir/test_dsm.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_dsm.cc.o.d"
+  "/root/repo/tests/test_exec_model.cc" "tests/CMakeFiles/aosd_tests.dir/test_exec_model.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_exec_model.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/aosd_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_fuzz_integration.cc" "tests/CMakeFiles/aosd_tests.dir/test_fuzz_integration.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_fuzz_integration.cc.o.d"
+  "/root/repo/tests/test_handlers.cc" "tests/CMakeFiles/aosd_tests.dir/test_handlers.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_handlers.cc.o.d"
+  "/root/repo/tests/test_ipc.cc" "tests/CMakeFiles/aosd_tests.dir/test_ipc.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_ipc.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/aosd_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/aosd_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_machines.cc" "tests/CMakeFiles/aosd_tests.dir/test_machines.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_machines.cc.o.d"
+  "/root/repo/tests/test_multiprocessor.cc" "tests/CMakeFiles/aosd_tests.dir/test_multiprocessor.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_multiprocessor.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/aosd_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/aosd_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_paper_claims.cc" "tests/CMakeFiles/aosd_tests.dir/test_paper_claims.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_paper_claims.cc.o.d"
+  "/root/repo/tests/test_ports.cc" "tests/CMakeFiles/aosd_tests.dir/test_ports.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_ports.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/aosd_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/aosd_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_study.cc" "tests/CMakeFiles/aosd_tests.dir/test_study.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_study.cc.o.d"
+  "/root/repo/tests/test_synapse.cc" "tests/CMakeFiles/aosd_tests.dir/test_synapse.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_synapse.cc.o.d"
+  "/root/repo/tests/test_threads.cc" "tests/CMakeFiles/aosd_tests.dir/test_threads.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_threads.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/aosd_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_vm.cc" "tests/CMakeFiles/aosd_tests.dir/test_vm.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_vm.cc.o.d"
+  "/root/repo/tests/test_vm_clients.cc" "tests/CMakeFiles/aosd_tests.dir/test_vm_clients.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_vm_clients.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/aosd_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_workload.cc.o.d"
+  "/root/repo/tests/test_write_buffer.cc" "tests/CMakeFiles/aosd_tests.dir/test_write_buffer.cc.o" "gcc" "tests/CMakeFiles/aosd_tests.dir/test_write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aosd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
