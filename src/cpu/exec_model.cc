@@ -1,6 +1,7 @@
 #include "cpu/exec_model.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace aosd
 {
@@ -163,6 +164,10 @@ ExecModel::run(const HandlerProgram &program)
         PhaseResult pr = runStream(phase.code, now);
         pr.kind = phase.kind;
         now += pr.cycles;
+        Tracer::instance().completeHere(pr.cycles,
+                                        TraceEvent::ExecPhase,
+                                        phaseName(pr.kind),
+                                        pr.instructions);
         result.instructions += pr.instructions;
         result.breakdown += pr.breakdown;
         result.phases.push_back(std::move(pr));

@@ -3,6 +3,7 @@
 #include "mem/page_table.hh"
 #include "mem/write_buffer.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace aosd
 {
@@ -42,6 +43,8 @@ Cache::access(Addr addr, Asid asid, bool write)
     Cycles cost = 1 + desc.missPenaltyCycles;
     if (line.valid && line.dirty)
         cost += desc.missPenaltyCycles; // writeback of the victim
+    Tracer::instance().instant(TraceEvent::CacheMiss, "cache_miss",
+                               cost);
     line.valid = true;
     line.dirty = write && desc.policy == WritePolicy::WriteBack;
     line.tag = tagOf(addr);

@@ -1,6 +1,7 @@
 #include "mem/tlb.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace aosd
 {
@@ -60,6 +61,10 @@ Tlb::lookup(Vpn vpn, Asid asid, bool kernel_space)
         cost = kernel_space ? desc.swKernelMissCycles
                             : desc.swUserMissCycles;
     }
+    Tracer::instance().instant(TraceEvent::TlbMiss,
+                               kernel_space ? "tlb_miss_kernel"
+                                            : "tlb_miss_user",
+                               cost);
     return {false, 0, {}, cost};
 }
 
@@ -79,6 +84,7 @@ Tlb::insert(Vpn vpn, Asid asid, Pfn pfn, PageProt prot, bool locked)
     e->prot = prot;
     e->lastUse = ++useClock;
     statGroup.inc("inserts");
+    Tracer::instance().instant(TraceEvent::TlbFill, "tlb_fill", vpn);
 }
 
 void
@@ -94,11 +100,14 @@ Tlb::invalidate(Vpn vpn, Asid asid)
 void
 Tlb::invalidateAll()
 {
+    std::uint64_t dropped = validEntries();
     for (auto &e : entries) {
         e.valid = false;
         e.locked = false;
     }
     statGroup.inc("full_purges");
+    Tracer::instance().instant(TraceEvent::TlbPurge, "tlb_purge_all",
+                               dropped);
 }
 
 void

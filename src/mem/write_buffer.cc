@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/trace.hh"
+
 namespace aosd
 {
 
@@ -25,6 +27,9 @@ WriteBuffer::store(Cycles now, bool same_page)
         stall = pending.front() - now;
         now = pending.front();
         pending.pop_front();
+        if (stall > 0)
+            Tracer::instance().instant(TraceEvent::WriteBufferStall,
+                                       "wb_stall", stall);
     }
 
     // The new write starts retiring once it reaches the head; memory is

@@ -2,6 +2,7 @@
 
 #include "cpu/primitive_costs.hh"
 #include "mem/cache.hh"
+#include "sim/trace.hh"
 
 namespace aosd
 {
@@ -78,6 +79,26 @@ LrpcModel::nullCall() const
 
     // One copy onto the shared A-stack per direction.
     b.argCopyUs = 2.0 * us(copyCycles(desc, cfg.argBytes));
+
+    // Lay the components on the trace timeline in call order.
+    Tracer &tr = Tracer::instance();
+    if (tr.enabled()) {
+        auto cyc = [&](double micros) {
+            return desc.clock.microsToCycles(micros);
+        };
+        tr.completeHere(cyc(b.stubUs), TraceEvent::RpcPhase,
+                        "lrpc_stubs");
+        tr.completeHere(cyc(b.kernelEntryUs), TraceEvent::RpcPhase,
+                        "lrpc_kernel_entry");
+        tr.completeHere(cyc(b.validationUs), TraceEvent::RpcPhase,
+                        "lrpc_validation");
+        tr.completeHere(cyc(b.contextSwitchUs), TraceEvent::RpcPhase,
+                        "lrpc_context_switch");
+        tr.completeHere(cyc(b.tlbMissUs), TraceEvent::RpcPhase,
+                        "lrpc_tlb_refill", misses);
+        tr.completeHere(cyc(b.argCopyUs), TraceEvent::RpcPhase,
+                        "lrpc_arg_copy");
+    }
     return b;
 }
 

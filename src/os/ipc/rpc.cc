@@ -3,6 +3,7 @@
 #include "cpu/primitive_costs.hh"
 #include "mem/cache.hh"
 #include "os/ipc/message.hh"
+#include "sim/trace.hh"
 
 namespace aosd
 {
@@ -87,6 +88,32 @@ SrcRpcModel::roundTrip(std::uint32_t arg_bytes,
     b.controllerUs =
         2.0 * 2.0 * cfg.link.controllerLatencyUs; // tx+rx, both packets
     b.wireUs = ether.wireTimeUs(call_pkt) + ether.wireTimeUs(reply_pkt);
+
+    // Lay the round trip on the trace timeline in wire order.
+    Tracer &tr = Tracer::instance();
+    if (tr.enabled()) {
+        auto cyc = [&](double micros) {
+            return clk.microsToCycles(micros);
+        };
+        tr.completeHere(cyc(b.clientStubUs), TraceEvent::RpcPhase,
+                        "rpc_client_stub", arg_bytes);
+        tr.completeHere(cyc(b.kernelTransferUs), TraceEvent::RpcPhase,
+                        "rpc_kernel_transfer");
+        tr.completeHere(cyc(b.copyUs), TraceEvent::RpcPhase,
+                        "rpc_copy");
+        tr.completeHere(cyc(b.checksumUs), TraceEvent::RpcPhase,
+                        "rpc_checksum");
+        tr.completeHere(cyc(b.controllerUs), TraceEvent::RpcPhase,
+                        "rpc_controller");
+        tr.completeHere(cyc(b.wireUs), TraceEvent::RpcPhase,
+                        "rpc_wire");
+        tr.completeHere(cyc(b.interruptUs), TraceEvent::RpcPhase,
+                        "rpc_interrupts");
+        tr.completeHere(cyc(b.serverStubUs), TraceEvent::RpcPhase,
+                        "rpc_server_stub", result_bytes);
+        tr.completeHere(cyc(b.dispatchUs), TraceEvent::RpcPhase,
+                        "rpc_dispatch");
+    }
 
     return b;
 }

@@ -1,6 +1,7 @@
 #include "os/kernel/kernel.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace aosd
 {
@@ -52,14 +53,22 @@ void
 SimKernel::syscall()
 {
     counters.inc(kstat::syscalls);
+    Cycles start = cycleCount;
     chargePrimitive(Primitive::NullSyscall);
+    Tracer::instance().complete(start, cycleCount - start,
+                                TraceEvent::Syscall, "syscall");
 }
 
 void
 SimKernel::trap()
 {
     counters.inc(kstat::traps);
+    Cycles start = cycleCount;
+    Tracer::instance().recordAt(start, TraceEvent::TrapEnter,
+                                TracePhase::Begin, "trap");
     chargePrimitive(Primitive::Trap);
+    Tracer::instance().recordAt(cycleCount, TraceEvent::TrapExit,
+                                TracePhase::End, "trap");
 }
 
 void
@@ -85,6 +94,8 @@ SimKernel::contextSwitchTo(AddressSpace &target)
     counters.inc(kstat::addrSpaceSwitches);
     // An address-space switch implies a thread switch (Table 7 note).
     counters.inc(kstat::threadSwitches);
+    Tracer::instance().recordAt(cycleCount, TraceEvent::ContextSwitch,
+                                TracePhase::Begin, "context_switch");
     chargePrimitive(Primitive::ContextSwitch);
 
     Cycles purge = tlbModel.switchContext();
@@ -100,6 +111,10 @@ SimKernel::contextSwitchTo(AddressSpace &target)
         if (spaces[i].get() == &target) {
             currentIdx = i;
             touchWorkingSet();
+            Tracer::instance().recordAt(cycleCount,
+                                        TraceEvent::ContextSwitch,
+                                        TracePhase::End,
+                                        "context_switch");
             return;
         }
     }
@@ -110,7 +125,11 @@ void
 SimKernel::threadSwitch()
 {
     counters.inc(kstat::threadSwitches);
+    Cycles start = cycleCount;
     chargePrimitive(Primitive::ContextSwitch);
+    Tracer::instance().complete(start, cycleCount - start,
+                                TraceEvent::ThreadSwitch,
+                                "thread_switch");
 }
 
 void
@@ -119,6 +138,8 @@ SimKernel::emulateInstructions(std::uint64_t n)
     counters.inc(kstat::emulatedInstrs, n);
     // Each emulated instruction decodes and interprets in the kernel:
     // a handful of cycles beyond the trap that delivered it.
+    Tracer::instance().recordAt(cycleCount, TraceEvent::EmulatedInstr,
+                                TracePhase::Instant, "emulate", n);
     cycleCount += n * 4;
     primCycles += n * 4;
 }
@@ -141,7 +162,10 @@ void
 SimKernel::otherException()
 {
     counters.inc(kstat::otherExceptions);
+    Cycles start = cycleCount;
     chargePrimitive(Primitive::Trap);
+    Tracer::instance().complete(start, cycleCount - start,
+                                TraceEvent::TrapEnter, "exception");
 }
 
 void
@@ -149,11 +173,13 @@ SimKernel::touchPages(const std::vector<Vpn> &pages, bool kernel_space)
 {
     AddressSpace &space =
         kernel_space ? kernelSpace() : currentSpace();
+    Tracer::instance().setCycle(cycleCount);
     for (Vpn vpn : pages) {
         TlbLookup r = tlbModel.lookup(vpn, space.asid(), kernel_space);
         if (!r.hit) {
             cycleCount += r.missCycles;
             primCycles += r.missCycles;
+            Tracer::instance().setCycle(cycleCount);
             counters.inc(kernel_space ? kstat::kernelTlbMisses
                                       : kstat::userTlbMisses);
             WalkResult w = space.pageTable().walk(vpn);
@@ -175,6 +201,7 @@ SimKernel::touchPages(const std::vector<Vpn> &pages, bool kernel_space)
                 if (!k.hit) {
                     cycleCount += k.missCycles;
                     primCycles += k.missCycles;
+                    Tracer::instance().setCycle(cycleCount);
                     counters.inc(kstat::kernelTlbMisses);
                     tlbModel.insert(table_page, 0, table_page, {});
                 }

@@ -15,6 +15,8 @@ bool informEnabled = true;
 std::string
 vformat(const char *fmt, va_list ap)
 {
+    if (!fmt)
+        return {};
     va_list ap2;
     va_copy(ap2, ap);
     int n = std::vsnprintf(nullptr, 0, fmt, ap);

@@ -17,6 +17,46 @@ Distribution::variance() const
     return var < 0.0 ? 0.0 : var;
 }
 
+StatGroup::StatGroup(std::string group_name)
+    : name(std::move(group_name))
+{
+    StatRegistry::instance().add(this);
+}
+
+StatGroup::StatGroup(const StatGroup &o)
+    : name(o.name), counters(o.counters)
+{
+    StatRegistry::instance().add(this);
+}
+
+StatGroup::StatGroup(StatGroup &&o)
+    : name(std::move(o.name)), counters(std::move(o.counters))
+{
+    StatRegistry::instance().add(this);
+}
+
+StatGroup &
+StatGroup::operator=(const StatGroup &o)
+{
+    // Registration follows the object's address, not its contents.
+    name = o.name;
+    counters = o.counters;
+    return *this;
+}
+
+StatGroup &
+StatGroup::operator=(StatGroup &&o)
+{
+    name = std::move(o.name);
+    counters = std::move(o.counters);
+    return *this;
+}
+
+StatGroup::~StatGroup()
+{
+    StatRegistry::instance().remove(this);
+}
+
 std::string
 StatGroup::dump() const
 {
@@ -24,6 +64,102 @@ StatGroup::dump() const
     for (const auto &kv : counters)
         os << name << '.' << kv.first << " = " << kv.second << '\n';
     return os.str();
+}
+
+Json
+StatGroup::toJson() const
+{
+    Json c = Json::object();
+    for (const auto &kv : counters)
+        c.set(kv.first, Json(kv.second));
+    Json out = Json::object();
+    out.set("name", Json(name));
+    out.set("counters", std::move(c));
+    return out;
+}
+
+StatGroup
+StatGroup::fromJson(const Json &j)
+{
+    StatGroup g(j.at("name").asString());
+    for (const auto &kv : j.at("counters").items())
+        g.inc(kv.first, kv.second.asUint());
+    return g;
+}
+
+StatRegistry &
+StatRegistry::instance()
+{
+    static StatRegistry registry;
+    return registry;
+}
+
+const StatGroup *
+StatRegistry::findGroup(const std::string &name) const
+{
+    for (StatGroup *g : live)
+        if (g->groupName() == name)
+            return g;
+    return nullptr;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (StatGroup *g : live)
+        g->reset();
+}
+
+void
+StatRegistry::setRetainRetired(bool retain)
+{
+    retainRetired = retain;
+    if (!retain)
+        retired.clear();
+}
+
+Json
+StatRegistry::toJson() const
+{
+    Json groups = Json::array();
+    for (const StatGroup *g : live)
+        groups.push(g->toJson());
+    for (const auto &rkv : retired) {
+        Json c = Json::object();
+        for (const auto &kv : rkv.second)
+            c.set(kv.first, Json(kv.second));
+        Json g = Json::object();
+        g.set("name", Json(rkv.first + ".retired"));
+        g.set("counters", std::move(c));
+        groups.push(std::move(g));
+    }
+    Json out = Json::object();
+    out.set("stat_groups", std::move(groups));
+    return out;
+}
+
+std::vector<StatGroup>
+StatRegistry::parseSnapshot(const Json &j)
+{
+    std::vector<StatGroup> out;
+    const Json &groups = j.at("stat_groups");
+    for (std::size_t i = 0; i < groups.size(); ++i)
+        out.push_back(StatGroup::fromJson(groups.at(i)));
+    return out;
+}
+
+void
+StatRegistry::remove(StatGroup *g)
+{
+    if (retainRetired)
+        for (const auto &kv : g->all())
+            retired[g->groupName()][kv.first] += kv.second;
+    for (auto it = live.begin(); it != live.end(); ++it) {
+        if (*it == g) {
+            live.erase(it);
+            return;
+        }
+    }
 }
 
 } // namespace aosd

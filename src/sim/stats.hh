@@ -5,6 +5,11 @@
  * The simulated kernel instruments itself with these the way the authors
  * instrumented Mach (Table 7): every trap, syscall, context switch and TLB
  * miss bumps a counter in a StatGroup owned by the component.
+ *
+ * Every live StatGroup is also tracked by the process-wide StatRegistry,
+ * which can snapshot the entire simulation's counters to JSON in one
+ * call — the machinery tools/aosd_report and the regression gate use to
+ * make runs diffable.
  */
 
 #ifndef AOSD_SIM_STATS_HH
@@ -15,6 +20,8 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "sim/json.hh"
 
 namespace aosd
 {
@@ -78,8 +85,15 @@ class Distribution
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string group_name) : name(std::move(group_name))
-    {}
+    explicit StatGroup(std::string group_name);
+
+    /** Groups register with the StatRegistry for their lifetime, so
+     *  copies and moves must maintain their own registrations. */
+    StatGroup(const StatGroup &o);
+    StatGroup(StatGroup &&o);
+    StatGroup &operator=(const StatGroup &o);
+    StatGroup &operator=(StatGroup &&o);
+    ~StatGroup();
 
     /** Bump a named counter, creating it on first use. */
     void
@@ -114,9 +128,72 @@ class StatGroup
     /** Render "group.counter = value" lines. */
     std::string dump() const;
 
+    /** Serialize as {"name": ..., "counters": {...}}. */
+    Json toJson() const;
+
+    /** Rebuild a group from toJson() output (fatal on bad shape). */
+    static StatGroup fromJson(const Json &j);
+
+    bool
+    operator==(const StatGroup &o) const
+    {
+        return name == o.name && counters == o.counters;
+    }
+
   private:
     std::string name;
     std::map<std::string, std::uint64_t> counters;
+};
+
+/**
+ * Process-wide registry of every live StatGroup. Groups register on
+ * construction and deregister on destruction (the simulation is
+ * single-threaded, so no locking). Snapshots serialize every group —
+ * including short-lived ones inside models, as long as they are alive
+ * at snapshot time — giving one JSON document per simulation state.
+ */
+class StatRegistry
+{
+  public:
+    static StatRegistry &instance();
+
+    /** Live groups, in registration order. */
+    const std::vector<StatGroup *> &groups() const { return live; }
+
+    /** First live group with this name (nullptr if none). */
+    const StatGroup *findGroup(const std::string &name) const;
+
+    /** Zero every counter in every live group. */
+    void resetAll();
+
+    /**
+     * When retention is on, a destroyed group's counters are folded
+     * into a per-name "retired" aggregate instead of vanishing, so a
+     * whole run's activity survives its transient kernels/models.
+     * Turning retention off clears the aggregate.
+     */
+    void setRetainRetired(bool retain);
+    bool retainsRetired() const { return retainRetired; }
+
+    /** Snapshot every live group (plus, with retention, one
+     *  "<name>.retired" aggregate per group name):
+     *  {"stat_groups": [{"name":..., "counters":{...}}, ...]}. */
+    Json toJson() const;
+
+    /** Parse a toJson() snapshot back into value-type groups (the
+     *  round-trip direction the regression tooling uses). */
+    static std::vector<StatGroup> parseSnapshot(const Json &j);
+
+  private:
+    friend class StatGroup;
+    void add(StatGroup *g) { live.push_back(g); }
+    void remove(StatGroup *g);
+
+    std::vector<StatGroup *> live;
+    bool retainRetired = false;
+    /** name -> accumulated counters of destroyed groups. */
+    std::map<std::string, std::map<std::string, std::uint64_t>>
+        retired;
 };
 
 } // namespace aosd

@@ -1,0 +1,129 @@
+#include "sim/trace.hh"
+
+#include "sim/logging.hh"
+
+namespace aosd
+{
+
+const char *
+traceEventName(TraceEvent e)
+{
+    switch (e) {
+      case TraceEvent::TrapEnter:
+        return "trap_enter";
+      case TraceEvent::TrapExit:
+        return "trap_exit";
+      case TraceEvent::Syscall:
+        return "syscall";
+      case TraceEvent::ContextSwitch:
+        return "context_switch";
+      case TraceEvent::ThreadSwitch:
+        return "thread_switch";
+      case TraceEvent::TlbMiss:
+        return "tlb_miss";
+      case TraceEvent::TlbFill:
+        return "tlb_fill";
+      case TraceEvent::TlbPurge:
+        return "tlb_purge";
+      case TraceEvent::WriteBufferStall:
+        return "write_buffer_stall";
+      case TraceEvent::CacheMiss:
+        return "cache_miss";
+      case TraceEvent::ExecPhase:
+        return "exec_phase";
+      case TraceEvent::RpcPhase:
+        return "rpc_phase";
+      case TraceEvent::EmulatedInstr:
+        return "emulated_instr";
+      case TraceEvent::Mark:
+        return "mark";
+    }
+    return "unknown";
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::enable(std::size_t cap)
+{
+    if (cap == 0)
+        fatal("trace ring needs at least one slot");
+    ring.assign(cap, TraceRecord{});
+    head = 0;
+    count = 0;
+    droppedCount = 0;
+    now = 0;
+    on = true;
+}
+
+const TraceRecord &
+Tracer::at(std::size_t i) const
+{
+    if (i >= count)
+        fatal("trace record index out of range");
+    return ring[(head + i) % ring.size()];
+}
+
+std::vector<TraceRecord>
+Tracer::snapshot() const
+{
+    std::vector<TraceRecord> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(at(i));
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    head = 0;
+    count = 0;
+    droppedCount = 0;
+    now = 0;
+}
+
+Json
+Tracer::toChromeJson() const
+{
+    Json events = Json::array();
+    for (std::size_t i = 0; i < count; ++i) {
+        const TraceRecord &r = at(i);
+        Json ev = Json::object();
+        ev.set("name", Json(r.name ? r.name : traceEventName(r.event)));
+        ev.set("cat", Json(traceEventName(r.event)));
+        ev.set("ph", Json(std::string(1, static_cast<char>(r.phase))));
+        ev.set("ts", Json(r.cycle));
+        if (r.phase == TracePhase::Complete)
+            ev.set("dur", Json(r.duration));
+        if (r.phase == TracePhase::Instant)
+            ev.set("s", Json("g")); // global-scope instant
+        ev.set("pid", Json(1));
+        ev.set("tid", Json(1));
+        Json args = Json::object();
+        args.set("arg", Json(r.arg));
+        ev.set("args", std::move(args));
+        events.push(std::move(ev));
+    }
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", Json("ns")); // 1 "ns" == 1 cycle here
+    Json meta = Json::object();
+    meta.set("time_unit", Json("cycles"));
+    meta.set("dropped_records", Json(droppedCount));
+    doc.set("otherData", std::move(meta));
+    return doc;
+}
+
+std::string
+Tracer::exportChromeTracing() const
+{
+    return toChromeJson().dump(1);
+}
+
+} // namespace aosd

@@ -1,0 +1,437 @@
+#include "study/figures.hh"
+
+#include "arch/machines.hh"
+#include "core/study.hh"
+#include "cpu/handler_variants.hh"
+#include "cpu/handlers.hh"
+#include "cpu/primitive_costs.hh"
+#include "os/ipc/lrpc.hh"
+#include "os/ipc/rpc.hh"
+#include "workload/app_profile.hh"
+
+namespace aosd
+{
+
+namespace
+{
+
+/** Short identifier for figure ids (paper-table column headers). */
+const char *
+machineSlug(MachineId m)
+{
+    switch (m) {
+      case MachineId::CVAX:
+        return "CVAX";
+      case MachineId::M88000:
+        return "M88000";
+      case MachineId::R2000:
+        return "R2000";
+      case MachineId::R3000:
+        return "R3000";
+      case MachineId::SPARC:
+        return "SPARC";
+      case MachineId::I860:
+        return "I860";
+      case MachineId::RS6000:
+        return "RS6000";
+      case MachineId::SUN3:
+        return "SUN3";
+    }
+    return "unknown";
+}
+
+const char *
+primitiveSlug(Primitive p)
+{
+    switch (p) {
+      case Primitive::NullSyscall:
+        return "null_syscall";
+      case Primitive::Trap:
+        return "trap";
+      case Primitive::PteChange:
+        return "pte_change";
+      case Primitive::ContextSwitch:
+        return "context_switch";
+    }
+    return "unknown";
+}
+
+const char *
+phaseSlug(PhaseKind p)
+{
+    switch (p) {
+      case PhaseKind::KernelEntryExit:
+        return "kernel_entry_exit";
+      case PhaseKind::CallPrep:
+        return "call_prep";
+      case PhaseKind::CCallReturn:
+        return "c_call_return";
+      case PhaseKind::Body:
+        return "body";
+    }
+    return "unknown";
+}
+
+Figure
+fig(std::string table, std::string id, std::string unit, double sim,
+    double paper = std::nan(""))
+{
+    Figure f;
+    f.table = std::move(table);
+    f.id = std::move(id);
+    f.unit = std::move(unit);
+    f.sim = sim;
+    f.paper = paper;
+    return f;
+}
+
+} // namespace
+
+std::vector<Figure>
+table1Figures()
+{
+    const MachineId machines[] = {MachineId::CVAX, MachineId::M88000,
+                                  MachineId::R2000, MachineId::R3000,
+                                  MachineId::SPARC};
+    const PrimitiveCostDb &db = sharedCostDb();
+    std::vector<Figure> out;
+    for (Primitive p : allPrimitives) {
+        for (MachineId m : machines) {
+            double paper = PaperPrimitiveData::microseconds(m, p);
+            out.push_back(fig(
+                "table1",
+                std::string(primitiveSlug(p)) + "_us." +
+                    machineSlug(m),
+                "us", db.micros(m, p),
+                paper < 0 ? std::nan("") : paper));
+        }
+    }
+    // The bottom row: application performance relative to the CVAX.
+    for (MachineId m : {MachineId::M88000, MachineId::R2000,
+                        MachineId::R3000, MachineId::SPARC}) {
+        out.push_back(fig("table1",
+                          std::string("app_perf_vs_cvax.") +
+                              machineSlug(m),
+                          "x", db.machine(m).appPerfVsCvax));
+    }
+    return out;
+}
+
+std::vector<Figure>
+table2Figures()
+{
+    const MachineId machines[] = {MachineId::CVAX, MachineId::M88000,
+                                  MachineId::R2000, MachineId::SPARC,
+                                  MachineId::I860};
+    const PrimitiveCostDb &db = sharedCostDb();
+    std::vector<Figure> out;
+    for (Primitive p : allPrimitives) {
+        for (MachineId m : machines) {
+            std::uint64_t paper =
+                PaperPrimitiveData::instructionCount(m, p);
+            out.push_back(fig(
+                "table2",
+                std::string(primitiveSlug(p)) + "_instr." +
+                    machineSlug(m),
+                "instructions",
+                static_cast<double>(db.instructions(m, p)),
+                paper == 0 ? std::nan("")
+                           : static_cast<double>(paper)));
+        }
+    }
+    return out;
+}
+
+std::vector<Figure>
+table3Figures()
+{
+    SrcRpcModel model(sharedCostDb().machine(MachineId::CVAX));
+    RpcBreakdown small = model.nullRpc();
+    RpcBreakdown large = model.roundTrip(74, 1500);
+
+    std::vector<Figure> out;
+    auto part = [&](const char *name, double us) {
+        out.push_back(fig("table3", std::string(name) + "_us.CVAX",
+                          "us", us));
+    };
+    part("client_stub", small.clientStubUs);
+    part("server_stub", small.serverStubUs);
+    part("kernel_transfer", small.kernelTransferUs);
+    part("interrupt", small.interruptUs);
+    part("checksum", small.checksumUs);
+    part("copy", small.copyUs);
+    part("dispatch", small.dispatchUs);
+    part("controller", small.controllerUs);
+    part("wire", small.wireUs);
+    out.push_back(fig("table3", "null_rpc_total_us.CVAX", "us",
+                      small.totalUs()));
+    // The prose anchors: wire share ~17% small, ~50% at 1500 bytes.
+    out.push_back(fig("table3", "wire_share_small.CVAX", "percent",
+                      small.percent(small.wireUs), 17.0));
+    out.push_back(fig("table3", "wire_share_1500b.CVAX", "percent",
+                      large.percent(large.wireUs), 50.0));
+    return out;
+}
+
+std::vector<Figure>
+table4Figures()
+{
+    LrpcModel cvax(sharedCostDb().machine(MachineId::CVAX));
+    LrpcBreakdown b = cvax.nullCall();
+
+    std::vector<Figure> out;
+    auto part = [&](const char *name, double us) {
+        out.push_back(fig("table4", std::string(name) + "_us.CVAX",
+                          "us", us));
+    };
+    part("stubs", b.stubUs);
+    part("kernel_entry", b.kernelEntryUs);
+    part("validation", b.validationUs);
+    part("context_switch", b.contextSwitchUs);
+    part("tlb_refill", b.tlbMissUs);
+    part("arg_copy", b.argCopyUs);
+    out.push_back(fig("table4", "null_lrpc_total_us.CVAX", "us",
+                      b.totalUs(), 157.0));
+    out.push_back(fig("table4", "hardware_minimum_us.CVAX", "us",
+                      b.hardwareMinimumUs(), 109.0));
+    out.push_back(fig("table4", "tlb_share.CVAX", "percent",
+                      b.tlbPercent(), 25.0));
+    // Tagged TLBs keep their entries across the two switches (s3.2).
+    for (const MachineDesc &md : allMachines()) {
+        LrpcModel model(md);
+        LrpcBreakdown lb = model.nullCall();
+        out.push_back(fig("table4",
+                          std::string("null_lrpc_total_us.") +
+                              machineSlug(md.id),
+                          "us", lb.totalUs()));
+        out.push_back(fig(
+            "table4",
+            std::string("tlb_misses_per_call.") + machineSlug(md.id),
+            "count",
+            static_cast<double>(model.steadyStateTlbMisses())));
+    }
+    return out;
+}
+
+std::vector<Figure>
+table5Figures()
+{
+    const MachineId machines[] = {MachineId::CVAX, MachineId::R2000,
+                                  MachineId::SPARC};
+    const double paperTotals[] = {15.8, 9.0, 15.2};
+
+    auto rows = Study::syscallAnatomy();
+    std::vector<Figure> out;
+    int i = 0;
+    for (MachineId m : machines) {
+        double total = 0;
+        for (const auto &r : rows) {
+            if (r.machine != m)
+                continue;
+            total += r.simMicros;
+            out.push_back(fig(
+                "table5",
+                std::string(phaseSlug(r.phase)) + "_us." +
+                    machineSlug(m),
+                "us", r.simMicros,
+                r.paperMicros < 0 ? std::nan("") : r.paperMicros));
+        }
+        out.push_back(fig("table5",
+                          std::string("total_us.") + machineSlug(m),
+                          "us", total, paperTotals[i++]));
+    }
+    return out;
+}
+
+std::vector<Figure>
+table6Figures()
+{
+    struct PaperRow
+    {
+        MachineId id;
+        double regs, fp, misc;
+    };
+    const PaperRow paper[] = {
+        {MachineId::CVAX, 16, 0, 1},
+        {MachineId::M88000, 32, 0, 27},
+        {MachineId::R2000, 32, 32, 5},
+        {MachineId::SPARC, 136, 32, 6},
+        {MachineId::I860, 32, 32, 9},
+        {MachineId::RS6000, 32, 64, 4},
+    };
+
+    auto rows = Study::threadState();
+    std::vector<Figure> out;
+    for (const auto &r : rows) {
+        const PaperRow *p = nullptr;
+        for (const auto &pr : paper)
+            if (pr.id == r.machine)
+                p = &pr;
+        const char *slug = machineSlug(r.machine);
+        out.push_back(fig("table6",
+                          std::string("registers_words.") + slug,
+                          "words", r.registers,
+                          p ? p->regs : std::nan("")));
+        out.push_back(fig("table6",
+                          std::string("fp_state_words.") + slug,
+                          "words", r.fpState,
+                          p ? p->fp : std::nan("")));
+        out.push_back(fig("table6",
+                          std::string("misc_state_words.") + slug,
+                          "words", r.miscState,
+                          p ? p->misc : std::nan("")));
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+table7RowFigures(std::vector<Figure> &out, const Table7Row &r)
+{
+    Table7Row paper = paperTable7Row(r.app, r.structure);
+    bool has_paper = paper.elapsedSeconds > 0;
+    const char *os =
+        r.structure == OsStructure::Monolithic ? "mach25" : "mach30";
+    auto suffix = [&](const char *name) {
+        return std::string(name) + "." + r.app + "." + os;
+    };
+    auto cell = [&](const char *name, const char *unit, double sim,
+                    double pap) {
+        out.push_back(fig("table7", suffix(name), unit, sim,
+                          has_paper ? pap : std::nan("")));
+    };
+    cell("elapsed", "s", r.elapsedSeconds, paper.elapsedSeconds);
+    cell("addr_space_switches", "count",
+         static_cast<double>(r.addressSpaceSwitches),
+         static_cast<double>(paper.addressSpaceSwitches));
+    cell("thread_switches", "count",
+         static_cast<double>(r.threadSwitches),
+         static_cast<double>(paper.threadSwitches));
+    cell("syscalls", "count", static_cast<double>(r.systemCalls),
+         static_cast<double>(paper.systemCalls));
+    cell("emulated_instrs", "count",
+         static_cast<double>(r.emulatedInstructions),
+         static_cast<double>(paper.emulatedInstructions));
+    cell("kernel_tlb_misses", "count",
+         static_cast<double>(r.kernelTlbMisses),
+         static_cast<double>(paper.kernelTlbMisses));
+    cell("other_exceptions", "count",
+         static_cast<double>(r.otherExceptions),
+         static_cast<double>(paper.otherExceptions));
+    if (r.structure == OsStructure::SmallKernel)
+        cell("os_primitive_share", "percent",
+             r.percentTimeInPrimitives,
+             paper.percentTimeInPrimitives);
+}
+
+} // namespace
+
+std::vector<Figure>
+table7Figures()
+{
+    std::vector<Figure> out;
+    for (const Table7Row &r : Study::machStudy(MachineId::R3000))
+        table7RowFigures(out, r);
+    return out;
+}
+
+std::vector<Figure>
+headlineFigures()
+{
+    const PrimitiveCostDb &db = sharedCostDb();
+    std::vector<Figure> out;
+
+    // s5: andrew-remote address-space-switch inflation, 3.0 vs 2.5,
+    // and the SPARC's syscall+switch overhead for the same script.
+    auto rows = Study::machStudy(MachineId::R3000);
+    double sw25 = 0, sw30 = 0;
+    for (const Table7Row &r : rows) {
+        if (r.app != "andrew-remote")
+            continue;
+        double sw = static_cast<double>(r.addressSpaceSwitches);
+        if (r.structure == OsStructure::Monolithic)
+            sw25 = sw;
+        else
+            sw30 = sw;
+    }
+    if (sw25 > 0)
+        out.push_back(fig("headlines",
+                          "andrew_remote_switch_inflation", "x",
+                          sw30 / sw25, 33.0));
+    for (const Table7Row &r : rows) {
+        if (r.app != "andrew-remote" ||
+            r.structure != OsStructure::SmallKernel)
+            continue;
+        double sparc_s =
+            (static_cast<double>(r.systemCalls) *
+                 db.micros(MachineId::SPARC,
+                           Primitive::NullSyscall) +
+             static_cast<double>(r.addressSpaceSwitches) *
+                 db.micros(MachineId::SPARC,
+                           Primitive::ContextSwitch)) /
+            1e6;
+        out.push_back(fig("headlines",
+                          "sparc_mach30_syscall_switch_overhead", "s",
+                          sparc_s, 9.4));
+    }
+
+    // s2.3: SPARC register-window share of the null system call.
+    {
+        const MachineDesc &sparc = db.machine(MachineId::SPARC);
+        ExecModel exec(sparc);
+        Cycles window = exec.runStream(sparcWindowSaveSeq(sparc)).cycles;
+        Cycles total = db.cycles(MachineId::SPARC,
+                                 Primitive::NullSyscall);
+        out.push_back(fig("headlines", "sparc_window_share", "percent",
+                          100.0 * static_cast<double>(window) /
+                              static_cast<double>(total),
+                          30.0));
+    }
+
+    // s2.1: Sun-3/75 -> SPARCstation null-RPC speedup vs the 5x
+    // integer speedup (Sprite measured ~2x).
+    {
+        double sun3 = SrcRpcModel(db.machine(MachineId::SUN3))
+                          .nullRpc()
+                          .totalUs();
+        double sparc = SrcRpcModel(db.machine(MachineId::SPARC))
+                           .nullRpc()
+                           .totalUs();
+        out.push_back(fig("headlines", "sun3_to_sparc_rpc_speedup",
+                          "x", sun3 / sparc, 2.0));
+    }
+
+    // s3.2: the i860 PTE change is almost entirely cache flushing.
+    {
+        HandlerProgram pte = buildHandler(db.machine(MachineId::I860),
+                                          Primitive::PteChange);
+        std::uint64_t flush_loop = 0;
+        for (const auto &ph : pte.phases)
+            flush_loop += ph.code.countOf(OpKind::CacheFlushLine);
+        out.push_back(fig("headlines", "i860_pte_flush_instrs",
+                          "instructions",
+                          static_cast<double>(flush_loop * 4), 536.0));
+        out.push_back(fig(
+            "headlines", "i860_pte_total_instrs", "instructions",
+            static_cast<double>(pte.instructionCount()), 559.0));
+    }
+    return out;
+}
+
+std::vector<Figure>
+allFigures()
+{
+    std::vector<Figure> out;
+    for (auto fn :
+         {table1Figures, table2Figures, table3Figures, table4Figures,
+          table5Figures, table6Figures, table7Figures,
+          headlineFigures}) {
+        auto part = fn();
+        out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+}
+
+} // namespace aosd

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Machine-readable figures: every number the reproduction simulates,
+ * next to the paper's value where the paper gives one.
+ *
+ * The bench binaries pretty-print these; tools/aosd_report serializes
+ * them to report.json; tests/test_report_regression.cc diffs them
+ * against a checked-in snapshot so CI catches any drift in any
+ * simulated figure. One Figure == one cell of one paper table (or one
+ * headline scalar from the prose).
+ */
+
+#ifndef AOSD_STUDY_FIGURES_HH
+#define AOSD_STUDY_FIGURES_HH
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace aosd
+{
+
+/** One simulated number, optionally anchored to a paper value. */
+struct Figure
+{
+    /** Unique within its table, e.g. "null_syscall_us.CVAX". */
+    std::string id;
+    /** Which paper table it belongs to ("table1" ... "table7",
+     *  "headlines"). */
+    std::string table;
+    /** Unit slug: "us", "instructions", "words", "count", "percent",
+     *  "x" (ratio), "s". */
+    std::string unit;
+    double sim = 0.0;
+    /** NaN when the paper gives no value for this cell. */
+    double paper = std::nan("");
+
+    bool hasPaper() const { return !std::isnan(paper); }
+
+    /** (sim - paper) / |paper|; NaN when no paper value or paper is
+     *  zero with a nonzero simulation. */
+    double
+    relativeError() const
+    {
+        if (!hasPaper())
+            return std::nan("");
+        if (paper == 0.0)
+            return sim == 0.0 ? 0.0 : std::nan("");
+        return (sim - paper) / std::fabs(paper);
+    }
+};
+
+/** Table 1: primitive times (us) per machine, vs paper. */
+std::vector<Figure> table1Figures();
+
+/** Table 2: dynamic instruction counts per machine, vs paper. */
+std::vector<Figure> table2Figures();
+
+/** Table 3: SRC RPC breakdown (CVAX Firefly) + wire-share anchors. */
+std::vector<Figure> table3Figures();
+
+/** Table 4: LRPC breakdown, totals and TLB share, vs paper anchors. */
+std::vector<Figure> table4Figures();
+
+/** Table 5: null-syscall phase decomposition, vs paper. */
+std::vector<Figure> table5Figures();
+
+/** Table 6: processor thread state words, vs paper. */
+std::vector<Figure> table6Figures();
+
+/** Table 7: Mach 2.5 vs 3.0 OS-primitive reliance, vs paper. */
+std::vector<Figure> table7Figures();
+
+/** Headline prose anchors (context-switch inflation, SPARC overhead
+ *  seconds, register-window share...). */
+std::vector<Figure> headlineFigures();
+
+/** All of the above, in table order. */
+std::vector<Figure> allFigures();
+
+} // namespace aosd
+
+#endif // AOSD_STUDY_FIGURES_HH

@@ -81,8 +81,12 @@ TEST_F(BindingTest, AStacksMappedAtDistinctSharedAddresses)
 {
     registry.exportInterface("fs", server);
     registry.exportInterface("net", server);
-    auto b1 = registry.binding(*registry.bind("fs", client, 4));
-    auto b2 = registry.binding(*registry.bind("net", client, 4));
+    // Take the Binding pointers only after both bind() calls: bind()
+    // can grow the registry's vector and invalidate earlier pointers.
+    std::uint32_t id1 = *registry.bind("fs", client, 4);
+    std::uint32_t id2 = *registry.bind("net", client, 4);
+    auto b1 = registry.binding(id1);
+    auto b2 = registry.binding(id2);
     // A-stack VPNs never collide across bindings.
     for (const AStack &s1 : b1->aStacks())
         for (const AStack &s2 : b2->aStacks())

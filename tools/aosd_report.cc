@@ -1,0 +1,174 @@
+/**
+ * @file
+ * aosd_report: run every table/ablation computation and emit one
+ * machine-readable report.
+ *
+ *   aosd_report                      # text summary to stdout
+ *   aosd_report --json               # report.json to stdout
+ *   aosd_report --json report.json   # ... to a file
+ *   aosd_report --trace trace.json   # also write a chrome://tracing
+ *                                    # timeline of the whole run
+ *   aosd_report --stats stats.json   # also snapshot every StatGroup
+ *
+ * The report covers Tables 1-7 plus the paper's headline prose
+ * figures; every entry carries the simulated value, the paper's value
+ * where the paper gives one, and the relative error. CI regenerates
+ * the report on every commit and fails if any figure drifts from the
+ * checked-in snapshot (tests/test_report_regression.cc).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+#include "sim/trace.hh"
+#include "study/figures.hh"
+#include "study/report.hh"
+
+using namespace aosd;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--json [path]] [--trace path] [--stats path]\n"
+        "  --json [path]  write report.json (stdout when no path)\n"
+        "  --trace path   write a chrome://tracing timeline\n"
+        "  --stats path   write a StatRegistry snapshot\n",
+        argv0);
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    out << content;
+    return true;
+}
+
+void
+printTextSummary(const Json &report)
+{
+    std::printf("aosd_report: simulated figures vs the paper\n\n");
+    for (const auto &tkv : report.at("tables").items()) {
+        const Json &figs = tkv.second.at("figures");
+        TextTable t;
+        t.header({"figure", "unit", "sim", "paper", "rel err"});
+        for (std::size_t i = 0; i < figs.size(); ++i) {
+            const Json &f = figs.at(i);
+            const Json *paper = f.find("paper");
+            const Json *err = f.find("rel_error");
+            t.row({f.at("id").asString(), f.at("unit").asString(),
+                   TextTable::num(f.at("sim").asNumber(), 3),
+                   paper ? TextTable::num(paper->asNumber(), 3) : "-",
+                   err ? TextTable::num(100.0 * err->asNumber(), 1) +
+                             "%"
+                       : "-"});
+        }
+        std::printf("%s\n%s\n", tkv.first.c_str(),
+                    t.render().c_str());
+    }
+    const Json &s = report.at("summary");
+    std::printf("figures: %llu  with paper value: %llu\n",
+                static_cast<unsigned long long>(
+                    s.at("figures").asUint()),
+                static_cast<unsigned long long>(
+                    s.at("with_paper").asUint()));
+    if (s.has("mean_abs_rel_error"))
+        std::printf("mean |rel err|: %.1f%%   max |rel err|: %.1f%% "
+                    "(%s)\n",
+                    100.0 * s.at("mean_abs_rel_error").asNumber(),
+                    100.0 * s.at("max_abs_rel_error").asNumber(),
+                    s.at("worst_figure").asString().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json_out = false;
+    std::string json_path;
+    std::string trace_path;
+    std::string stats_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto takesValue = [&](std::string &dst) {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                return false;
+            }
+            dst = argv[++i];
+            return true;
+        };
+        if (arg == "--json") {
+            json_out = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                json_path = argv[++i];
+        } else if (arg == "--trace") {
+            if (!takesValue(trace_path))
+                return 2;
+        } else if (arg == "--stats") {
+            if (!takesValue(stats_path))
+                return 2;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (!trace_path.empty())
+        Tracer::instance().enable(1 << 16);
+    if (!stats_path.empty())
+        StatRegistry::instance().setRetainRetired(true);
+
+    Json report = buildReport();
+
+    if (!trace_path.empty()) {
+        Tracer::instance().disable();
+        if (!writeFile(trace_path,
+                       Tracer::instance().exportChromeTracing()))
+            return 1;
+        std::fprintf(stderr, "trace: %zu records (%llu dropped) -> %s\n",
+                     Tracer::instance().size(),
+                     static_cast<unsigned long long>(
+                         Tracer::instance().dropped()),
+                     trace_path.c_str());
+    }
+
+    if (!stats_path.empty()) {
+        if (!writeFile(stats_path,
+                       StatRegistry::instance().toJson().dump(1)))
+            return 1;
+    }
+
+    if (json_out) {
+        std::string doc = report.dump(1);
+        if (json_path.empty())
+            std::fputs(doc.c_str(), stdout);
+        else if (!writeFile(json_path, doc))
+            return 1;
+        else
+            std::fprintf(stderr, "report -> %s\n", json_path.c_str());
+    } else {
+        printTextSummary(report);
+    }
+    return 0;
+}
