@@ -33,6 +33,27 @@ BENCHMARK(BM_HandlerExecution)
     ->Arg(static_cast<int>(MachineId::SPARC));
 
 void
+BM_HandlerExecutionProfiled(benchmark::State &state)
+{
+    // Same work as BM_HandlerExecution on the R3000, but with cycle
+    // attribution on: the delta between the two is the profiler's
+    // enabled cost, and comparing BM_HandlerExecution across builds
+    // with/without -DAOSD_DISABLE_PROFILER bounds the disabled cost.
+    MachineDesc m = makeMachine(MachineId::R3000);
+    HandlerProgram prog = buildHandler(m, Primitive::Trap);
+    ExecModel exec(m);
+    Profiler::instance().enable();
+    for (auto _ : state) {
+        ExecResult r = exec.run(prog);
+        benchmark::DoNotOptimize(r.cycles);
+        exec.reset();
+    }
+    Profiler::instance().disable();
+    Profiler::instance().clear();
+}
+BENCHMARK(BM_HandlerExecutionProfiled);
+
+void
 BM_TlbLookup(benchmark::State &state)
 {
     TlbDesc desc;

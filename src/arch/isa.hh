@@ -134,6 +134,19 @@ primitiveName(Primitive p)
     return "?";
 }
 
+/** Identifier-safe slug (figure ids, profiler frames). */
+constexpr const char *
+primitiveSlug(Primitive p)
+{
+    switch (p) {
+      case Primitive::NullSyscall: return "null_syscall";
+      case Primitive::Trap: return "trap";
+      case Primitive::PteChange: return "pte_change";
+      case Primitive::ContextSwitch: return "context_switch";
+    }
+    return "unknown";
+}
+
 /** All primitives, in paper order. */
 inline const Primitive allPrimitives[] = {
     Primitive::NullSyscall,
@@ -165,6 +178,19 @@ phaseName(PhaseKind p)
       case PhaseKind::Body: return "Body";
     }
     return "?";
+}
+
+/** Identifier-safe slug (figure ids, profiler frames). */
+constexpr const char *
+phaseSlug(PhaseKind p)
+{
+    switch (p) {
+      case PhaseKind::KernelEntryExit: return "kernel_entry_exit";
+      case PhaseKind::CallPrep: return "call_prep";
+      case PhaseKind::CCallReturn: return "c_call_return";
+      case PhaseKind::Body: return "body";
+    }
+    return "unknown";
 }
 
 /** A phase: a labelled instruction stream. */

@@ -410,6 +410,31 @@ makeMachine(MachineId id)
     panic("unknown machine id");
 }
 
+const char *
+machineSlug(MachineId id)
+{
+    switch (id) {
+      case MachineId::CVAX: return "CVAX";
+      case MachineId::M88000: return "M88000";
+      case MachineId::R2000: return "R2000";
+      case MachineId::R3000: return "R3000";
+      case MachineId::SPARC: return "SPARC";
+      case MachineId::I860: return "I860";
+      case MachineId::RS6000: return "RS6000";
+      case MachineId::SUN3: return "SUN3";
+    }
+    return "unknown";
+}
+
+MachineId
+machineFromSlug(const std::string &slug)
+{
+    for (const MachineDesc &m : allMachines())
+        if (slug == machineSlug(m.id))
+            return m.id;
+    fatal("unknown machine slug '%s'", slug.c_str());
+}
+
 std::vector<MachineDesc>
 table1Machines()
 {

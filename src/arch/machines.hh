@@ -9,6 +9,7 @@
 #ifndef AOSD_ARCH_MACHINES_HH
 #define AOSD_ARCH_MACHINES_HH
 
+#include <string>
 #include <vector>
 
 #include "arch/machine_desc.hh"
@@ -18,6 +19,12 @@ namespace aosd
 
 /** Build the description for one machine. */
 MachineDesc makeMachine(MachineId id);
+
+/** Identifier-safe slug (figure ids, profiler frames, CLI args). */
+const char *machineSlug(MachineId id);
+
+/** Inverse of machineSlug; fatal on an unknown slug. */
+MachineId machineFromSlug(const std::string &slug);
 
 /** The five machines with timing data in Table 1, in paper order. */
 std::vector<MachineDesc> table1Machines();

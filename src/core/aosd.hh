@@ -25,6 +25,7 @@
 #include "cpu/handler_variants.hh"
 #include "cpu/handlers.hh"
 #include "cpu/primitive_costs.hh"
+#include "cpu/profiled_primitives.hh"
 #include "mem/cache.hh"
 #include "mem/page_table.hh"
 #include "mem/phys_mem.hh"
@@ -52,6 +53,7 @@
 #include "os/vm/vm_manager.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/profile/profile.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"

@@ -2,6 +2,7 @@
 
 #include "arch/machines.hh"
 #include "cpu/primitive_costs.hh"
+#include "cpu/profiled_primitives.hh"
 #include "os/threads/thread.hh"
 #include "workload/app_profile.hh"
 
@@ -49,21 +50,23 @@ Study::lrpc(MachineId m)
 std::vector<SyscallPhaseResult>
 Study::syscallAnatomy()
 {
-    const PrimitiveCostDb &db = sharedCostDb();
+    // The anatomy is read off the cycle-attribution profiler rather
+    // than assembled by hand: each phase row is the inclusive total of
+    // the corresponding top-level node in the null-syscall attribution
+    // tree, so Table 5 and profile.json can never disagree.
     const PhaseKind phases[] = {PhaseKind::KernelEntryExit,
                                 PhaseKind::CallPrep,
                                 PhaseKind::CCallReturn};
     std::vector<SyscallPhaseResult> out;
     for (const MachineDesc &m : allMachines()) {
-        const PrimitiveCost &cost =
-            db.cost(m.id, Primitive::NullSyscall);
+        ProfiledPrimitiveRun run =
+            profilePrimitive(m, Primitive::NullSyscall);
         for (PhaseKind ph : phases) {
             SyscallPhaseResult r;
             r.machine = m.id;
             r.machineName = m.name;
             r.phase = ph;
-            r.simMicros =
-                m.clock.cyclesToMicros(cost.detail.phaseCycles(ph));
+            r.simMicros = m.clock.cyclesToMicros(run.phaseCycles(ph));
             r.paperMicros = PaperPrimitiveData::table5Micros(m.id, ph);
             out.push_back(r);
         }

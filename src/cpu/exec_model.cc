@@ -1,10 +1,33 @@
 #include "cpu/exec_model.hh"
 
 #include "sim/logging.hh"
+#include "sim/profile/profile.hh"
 #include "sim/trace.hh"
 
 namespace aosd
 {
+
+void
+profileBreakdown(const CycleBreakdown &bd)
+{
+    if (!profilerEnabled())
+        return;
+    Profiler &p = Profiler::instance();
+    auto add = [&](const char *cause, Cycles c) {
+        if (c)
+            p.addLeafCycles(cause, c);
+    };
+    add("base", bd.base);
+    add("write_buffer_stall", bd.writeBufferStall);
+    add("cache_miss_stall", bd.cacheMissStall);
+    add("uncached", bd.uncached);
+    add("ctrl_reg", bd.ctrlReg);
+    add("microcode", bd.microcode);
+    add("tlb_ops", bd.tlbOps);
+    add("cache_maintenance", bd.cacheMaintenance);
+    add("trap_hardware", bd.trapHardware);
+    add("fpu_sync", bd.fpuSync);
+}
 
 CycleBreakdown &
 CycleBreakdown::operator+=(const CycleBreakdown &o)
@@ -151,6 +174,7 @@ ExecModel::runStream(const InstrStream &stream, Cycles start_cycle)
             result.instructions += op.count;
     }
     result.cycles = now - start_cycle;
+    profileBreakdown(result.breakdown);
     return result;
 }
 
@@ -161,6 +185,7 @@ ExecModel::run(const HandlerProgram &program)
     ExecResult result;
     Cycles now = 0;
     for (const auto &phase : program.phases) {
+        ProfScope prof(phaseSlug(phase.kind));
         PhaseResult pr = runStream(phase.code, now);
         pr.kind = phase.kind;
         now += pr.cycles;

@@ -48,6 +48,15 @@ struct CycleBreakdown
     CycleBreakdown &operator+=(const CycleBreakdown &o);
 };
 
+/**
+ * Attribute a breakdown's cycles to cause-named leaf children of the
+ * profiler's current scope ("base", "write_buffer_stall",
+ * "cache_miss_stall", ...). No-op when profiling is disabled. The
+ * execution model calls this once per stream; the kernel reuses it to
+ * attribute cached primitive costs phase by phase.
+ */
+void profileBreakdown(const CycleBreakdown &bd);
+
 /** Result of executing one phase. */
 struct PhaseResult
 {

@@ -3,12 +3,17 @@
 #include "arch/machines.hh"
 #include "cpu/handlers.hh"
 #include "sim/logging.hh"
+#include "sim/profile/profile.hh"
 
 namespace aosd
 {
 
 PrimitiveCostDb::PrimitiveCostDb()
 {
+    // The cache may be built lazily while a profile is being taken;
+    // these warm-up simulations are not the profiled workload's
+    // cycles, so keep them out of the attribution tree.
+    ProfPause pause;
     for (const MachineDesc &m : allMachines()) {
         machines.emplace(m.id, m);
         ExecModel exec(m);

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * One-shot profiled runs of the primitive handler programs.
+ *
+ * profilePrimitive() executes a primitive's handler under an isolated
+ * profiler session and returns the attribution tree plus the totals the
+ * self-check compares: the cycles the execution model charged and the
+ * cycles the profiler attributed must be equal, or the tree has a hole.
+ * tools/aosd_profile builds profile.json from these runs, and the
+ * Table 5 anatomy (Study::syscallAnatomy) reads its phase totals off
+ * the same tree instead of re-deriving them by hand.
+ */
+
+#ifndef AOSD_CPU_PROFILED_PRIMITIVES_HH
+#define AOSD_CPU_PROFILED_PRIMITIVES_HH
+
+#include <map>
+#include <string>
+
+#include "arch/isa.hh"
+#include "arch/machine_desc.hh"
+#include "sim/json.hh"
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+/** Everything one profiled machine × primitive run produces. */
+struct ProfiledPrimitiveRun
+{
+    MachineId machine = MachineId::CVAX;
+    Primitive primitive = Primitive::NullSyscall;
+    unsigned repetitions = 0;
+
+    /** Cycles the execution model charged across all repetitions. */
+    Cycles totalCycles = 0;
+
+    /** Cycles the profiler attributed (must equal totalCycles). */
+    Cycles attributedCycles = 0;
+
+    /** Attribution tree (Profiler::toJson() of the session). */
+    Json tree;
+
+    /** Collapsed-stack lines, prefixed "machine;primitive;...". */
+    std::string folded;
+
+    /** Inclusive cycles per top-level tree node (phase slug ->
+     *  totalCycles), read off the attribution tree. */
+    std::map<std::string, Cycles> phaseTotals;
+
+    /** Inclusive cycles of one phase across all repetitions (0 if the
+     *  handler has no such phase). */
+    Cycles phaseCycles(PhaseKind kind) const;
+
+    /** The self-check: every charged cycle has a home in the tree. */
+    bool complete() const { return totalCycles == attributedCycles; }
+};
+
+/**
+ * Run `prim`'s handler on `machine` `reps` times under a fresh
+ * profiler session and collect the attribution. The global profiler is
+ * cleared on entry and left disabled (and cleared) on exit: callers
+ * own the isolation, not the caller's in-progress profile.
+ */
+ProfiledPrimitiveRun profilePrimitive(const MachineDesc &machine,
+                                      Primitive prim,
+                                      unsigned reps = 1);
+
+} // namespace aosd
+
+#endif // AOSD_CPU_PROFILED_PRIMITIVES_HH

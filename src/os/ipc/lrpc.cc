@@ -2,6 +2,7 @@
 
 #include "cpu/primitive_costs.hh"
 #include "mem/cache.hh"
+#include "sim/profile/profile.hh"
 #include "sim/trace.hh"
 
 namespace aosd
@@ -18,6 +19,9 @@ std::uint64_t
 simulateTlbMisses(const MachineDesc &desc, const LrpcConfig &cfg,
                   unsigned round_trips)
 {
+    // A helper simulation inside an analytic model: its charges must
+    // not leak into the caller's attribution tree.
+    ProfPause pause;
     SimKernel kernel(desc);
     AddressSpace &client = kernel.createSpace("client");
     AddressSpace &server = kernel.createSpace("server");
@@ -80,12 +84,26 @@ LrpcModel::nullCall() const
     // One copy onto the shared A-stack per direction.
     b.argCopyUs = 2.0 * us(copyCycles(desc, cfg.argBytes));
 
+    auto cyc = [&](double micros) {
+        return desc.clock.microsToCycles(micros);
+    };
+
+    // Attribute the components to the profiler tree, mirroring the
+    // breakdown Table 4 reports.
+    Profiler &prof = Profiler::instance();
+    if (prof.enabled()) {
+        ProfScope scope("lrpc");
+        prof.addLeafCycles("stubs", cyc(b.stubUs));
+        prof.addLeafCycles("kernel_entry", cyc(b.kernelEntryUs));
+        prof.addLeafCycles("validation", cyc(b.validationUs));
+        prof.addLeafCycles("context_switch", cyc(b.contextSwitchUs));
+        prof.addLeafCycles("tlb_refill", cyc(b.tlbMissUs));
+        prof.addLeafCycles("arg_copy", cyc(b.argCopyUs));
+    }
+
     // Lay the components on the trace timeline in call order.
     Tracer &tr = Tracer::instance();
     if (tr.enabled()) {
-        auto cyc = [&](double micros) {
-            return desc.clock.microsToCycles(micros);
-        };
         tr.completeHere(cyc(b.stubUs), TraceEvent::RpcPhase,
                         "lrpc_stubs");
         tr.completeHere(cyc(b.kernelEntryUs), TraceEvent::RpcPhase,

@@ -2,6 +2,7 @@
 
 #include "cpu/primitive_costs.hh"
 #include "mem/cache.hh"
+#include "sim/profile/profile.hh"
 
 namespace aosd
 {
@@ -36,6 +37,18 @@ UrpcModel::nullCall() const
     b.reallocationUs =
         us(realloc) / std::max<std::uint32_t>(cfg.callsPerReallocation,
                                               1);
+
+    Profiler &prof = Profiler::instance();
+    if (prof.enabled()) {
+        auto cyc = [&](double micros) {
+            return desc.clock.microsToCycles(micros);
+        };
+        ProfScope scope("urpc");
+        prof.addLeafCycles("locks", cyc(b.lockUs));
+        prof.addLeafCycles("copy", cyc(b.copyUs));
+        prof.addLeafCycles("thread_switch", cyc(b.threadSwitchUs));
+        prof.addLeafCycles("reallocation", cyc(b.reallocationUs));
+    }
     return b;
 }
 

@@ -1,5 +1,6 @@
 #include "os/kernel/kernel.hh"
 
+#include "cpu/exec_model.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -44,6 +45,16 @@ SimKernel::currentSpace()
 void
 SimKernel::chargePrimitive(Primitive p)
 {
+    // Attribute the cached handler simulation phase by phase, so a
+    // kernel-level profile bottoms out in the same hardware causes
+    // (trap_hardware, write_buffer_stall, ...) the exec model charged.
+    if (Profiler::instance().enabled()) {
+        const ExecResult &detail = costs.cost(desc.id, p).detail;
+        for (const PhaseResult &ph : detail.phases) {
+            ProfScope scope(phaseSlug(ph.kind));
+            profileBreakdown(ph.breakdown);
+        }
+    }
     Cycles c = costs.cycles(desc.id, p);
     cycleCount += c;
     primCycles += c;
@@ -52,6 +63,7 @@ SimKernel::chargePrimitive(Primitive p)
 void
 SimKernel::syscall()
 {
+    ProfScope prof("syscall");
     counters.inc(kstat::syscalls);
     Cycles start = cycleCount;
     chargePrimitive(Primitive::NullSyscall);
@@ -62,6 +74,7 @@ SimKernel::syscall()
 void
 SimKernel::trap()
 {
+    ProfScope prof("trap");
     counters.inc(kstat::traps);
     Cycles start = cycleCount;
     Tracer::instance().recordAt(start, TraceEvent::TrapEnter,
@@ -74,6 +87,7 @@ SimKernel::trap()
 void
 SimKernel::pteChange(AddressSpace &space, Vpn vpn, PageProt prot)
 {
+    ProfScope prof("pte_change");
     counters.inc(kstat::pteChanges);
     chargePrimitive(Primitive::PteChange);
     space.pageTable().protect(vpn, prot);
@@ -91,6 +105,7 @@ SimKernel::contextSwitchTo(AddressSpace &target)
     AddressSpace &from = currentSpace();
     if (&target == &from)
         return;
+    ProfScope prof("context_switch");
     counters.inc(kstat::addrSpaceSwitches);
     // An address-space switch implies a thread switch (Table 7 note).
     counters.inc(kstat::threadSwitches);
@@ -101,11 +116,15 @@ SimKernel::contextSwitchTo(AddressSpace &target)
     Cycles purge = tlbModel.switchContext();
     cycleCount += purge;
     primCycles += purge;
+    if (purge)
+        Profiler::instance().addLeafCycles("tlb_purge", purge);
 
     bool cache_tagged = !desc.cache.flushOnContextSwitch;
     Cycles flush = cacheModel.switchContext(cache_tagged);
     cycleCount += flush;
     primCycles += flush;
+    if (flush)
+        Profiler::instance().addLeafCycles("cache_flush", flush);
 
     for (std::size_t i = 0; i < spaces.size(); ++i) {
         if (spaces[i].get() == &target) {
@@ -124,6 +143,7 @@ SimKernel::contextSwitchTo(AddressSpace &target)
 void
 SimKernel::threadSwitch()
 {
+    ProfScope prof("thread_switch");
     counters.inc(kstat::threadSwitches);
     Cycles start = cycleCount;
     chargePrimitive(Primitive::ContextSwitch);
@@ -142,6 +162,7 @@ SimKernel::emulateInstructions(std::uint64_t n)
                                 TracePhase::Instant, "emulate", n);
     cycleCount += n * 4;
     primCycles += n * 4;
+    Profiler::instance().addLeafCycles("emulate_instr", n * 4);
 }
 
 void
@@ -156,11 +177,13 @@ SimKernel::emulateTestAndSet()
                desc.timing.trapReturnCycles + 70;
     cycleCount += c;
     primCycles += c;
+    Profiler::instance().addLeafCycles("emulated_test_and_set", c);
 }
 
 void
 SimKernel::otherException()
 {
+    ProfScope prof("exception");
     counters.inc(kstat::otherExceptions);
     Cycles start = cycleCount;
     chargePrimitive(Primitive::Trap);
@@ -173,12 +196,16 @@ SimKernel::touchPages(const std::vector<Vpn> &pages, bool kernel_space)
 {
     AddressSpace &space =
         kernel_space ? kernelSpace() : currentSpace();
+    ProfScope prof("tlb_refill");
     Tracer::instance().setCycle(cycleCount);
     for (Vpn vpn : pages) {
         TlbLookup r = tlbModel.lookup(vpn, space.asid(), kernel_space);
         if (!r.hit) {
             cycleCount += r.missCycles;
             primCycles += r.missCycles;
+            Profiler::instance().addLeafCycles(
+                kernel_space ? "miss_kernel" : "miss_user",
+                r.missCycles);
             Tracer::instance().setCycle(cycleCount);
             counters.inc(kernel_space ? kstat::kernelTlbMisses
                                       : kstat::userTlbMisses);
@@ -201,6 +228,8 @@ SimKernel::touchPages(const std::vector<Vpn> &pages, bool kernel_space)
                 if (!k.hit) {
                     cycleCount += k.missCycles;
                     primCycles += k.missCycles;
+                    Profiler::instance().addLeafCycles(
+                        "miss_page_table", k.missCycles);
                     Tracer::instance().setCycle(cycleCount);
                     counters.inc(kstat::kernelTlbMisses);
                     tlbModel.insert(table_page, 0, table_page, {});
@@ -219,7 +248,9 @@ SimKernel::touchWorkingSet()
 void
 SimKernel::chargeMicros(double us)
 {
-    cycleCount += desc.clock.microsToCycles(us);
+    Cycles c = desc.clock.microsToCycles(us);
+    cycleCount += c;
+    Profiler::instance().addCycles(c);
 }
 
 void
@@ -230,7 +261,9 @@ SimKernel::runUserCode(std::uint64_t instructions)
     // instruction per ~1.4 cycles.
     double cpi = 1.4 / desc.appPerfVsCvax *
                  (desc.clock.mhz() / 11.1);
-    cycleCount += static_cast<Cycles>(instructions * cpi + 0.5);
+    auto c = static_cast<Cycles>(instructions * cpi + 0.5);
+    cycleCount += c;
+    Profiler::instance().addLeafCycles("user_code", c);
 }
 
 double

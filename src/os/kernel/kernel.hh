@@ -23,6 +23,7 @@
 #include "mem/cache.hh"
 #include "mem/tlb.hh"
 #include "os/kernel/address_space.hh"
+#include "sim/profile/profile.hh"
 #include "sim/stats.hh"
 
 namespace aosd
@@ -104,8 +105,15 @@ class SimKernel
     void touchWorkingSet();
 
     // ---- direct charging ------------------------------------------
-    /** Spend user/kernel computation time without counting anything. */
-    void chargeCycles(Cycles c) { cycleCount += c; }
+    /** Spend user/kernel computation time without counting anything.
+     *  The cycles are attributed to the profiler's current scope. */
+    void
+    chargeCycles(Cycles c)
+    {
+        cycleCount += c;
+        if (profilerEnabled())
+            Profiler::instance().addCycles(c);
+    }
     void chargeMicros(double us);
 
     /** Run user code for `instructions` at ~1 instruction/cycle scaled

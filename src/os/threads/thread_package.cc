@@ -1,6 +1,7 @@
 #include "os/threads/thread_package.hh"
 
 #include "sim/logging.hh"
+#include "sim/profile/profile.hh"
 
 namespace aosd
 {
@@ -23,9 +24,11 @@ ThreadPackage::create(std::vector<WorkSlice> slices)
     runQueue.push_back(threads.back().id);
 
     counters.inc("creates");
-    cycleCount += threadLevel == ThreadLevel::User
-                      ? costModel.userThreadCreate
-                      : costModel.kernelThreadCreate;
+    Cycles c = threadLevel == ThreadLevel::User
+                   ? costModel.userThreadCreate
+                   : costModel.kernelThreadCreate;
+    cycleCount += c;
+    Profiler::instance().addLeafCycles("thread_create", c);
     return threads.back().id;
 }
 
@@ -33,14 +36,17 @@ void
 ThreadPackage::chargeSwitch()
 {
     counters.inc("switches");
-    cycleCount += threadLevel == ThreadLevel::User
-                      ? costModel.userThreadSwitch
-                      : costModel.kernelThreadSwitch;
+    Cycles c = threadLevel == ThreadLevel::User
+                   ? costModel.userThreadSwitch
+                   : costModel.kernelThreadSwitch;
+    cycleCount += c;
+    Profiler::instance().addLeafCycles("thread_switch", c);
 }
 
 void
 ThreadPackage::runToCompletion()
 {
+    ProfScope prof("threads");
     while (!runQueue.empty()) {
         ThreadId id = runQueue.front();
         runQueue.pop_front();
@@ -69,14 +75,19 @@ ThreadPackage::runToCompletion()
                 // the holder has run.
                 counters.inc("lock_contended");
                 cycleCount += lockCost / 2;
+                Profiler::instance().addLeafCycles("lock_contended",
+                                                   lockCost / 2);
                 runQueue.push_back(id);
                 continue;
             }
             counters.inc("lock_acquires");
             cycleCount += lockCost;
+            Profiler::instance().addLeafCycles("lock_acquire",
+                                               lockCost);
         }
 
         cycleCount += slice.work;
+        Profiler::instance().addLeafCycles("thread_work", slice.work);
         counters.inc("slices");
         if (slice.lockId >= 0) {
             if (slice.holdAcrossYield && t.next + 1 < t.slices.size())

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Hierarchical cycle-attribution profiler.
+ *
+ * The paper's core move is attribution: Table 5 explains a null system
+ * call by decomposing it into kernel entry/exit, call preparation and
+ * the C call, and §2.3/§3.2 charge the remainder to register-window
+ * flushes, write-buffer stalls and TLB refills. This layer gives the
+ * simulator the same power programmatically: RAII ProfScope spans name
+ * a tree of causes (e.g. syscall/kernel_entry_exit/trap_hardware), and
+ * every simulated cycle charged while profiling is attributed to
+ * exactly one node of that tree.
+ *
+ * Invariant: attributedCycles() == sumOfLeaves() == the cycles the
+ * instrumented components charged while the profiler was enabled.
+ * tools/aosd_profile asserts this per machine × primitive, so "where
+ * did the cycles go" always sums to "how long did it take".
+ *
+ * Profiling is off by default; a disabled ProfScope costs one branch.
+ * Configure with -DAOSD_DISABLE_PROFILER=ON to compile the hooks out
+ * entirely (used to bound the disabled-but-compiled-in overhead; see
+ * EXPERIMENTS.md).
+ */
+
+#ifndef AOSD_SIM_PROFILE_PROFILE_HH
+#define AOSD_SIM_PROFILE_PROFILE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+#include "sim/profile/histogram.hh"
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+namespace profdetail
+{
+/** The profiler's on/off flag. A plain namespace-scope bool (not a
+ *  member behind Profiler::instance()) so the disabled fast path in
+ *  the simulator's hot loops is one non-atomic load and a branch —
+ *  no function-local-static guard. */
+extern bool on;
+} // namespace profdetail
+
+/** Cheapest possible "is profiling on?" check for hot paths. */
+inline bool
+profilerEnabled()
+{
+#ifndef AOSD_PROFILER_DISABLED
+    return profdetail::on;
+#else
+    return false;
+#endif
+}
+
+/** One node of the attribution tree. */
+struct ProfNode
+{
+    std::string name;
+    ProfNode *parent = nullptr;
+    std::vector<std::unique_ptr<ProfNode>> children;
+    /** Cycles attributed directly to this node (not to children). */
+    Cycles selfCycles = 0;
+    /** Scope entries / attribution events at this node. */
+    std::uint64_t entries = 0;
+    /** Inclusive cycles per completed span (drives p50/p90/p99). */
+    Histogram spans;
+
+    /** Find-or-create a child (linear scan; fan-out is small). */
+    ProfNode *child(const char *child_name);
+
+    /** Existing child by name, nullptr if absent. */
+    const ProfNode *find(const std::string &child_name) const;
+
+    /** selfCycles plus every descendant's. */
+    Cycles totalCycles() const;
+
+    /** {"self_cycles":..,"total_cycles":..,"count":..,
+     *   "p50_cycles":..,"p90_cycles":..,"p99_cycles":..,
+     *   "children":{name: {...}}} — children keyed by name, in
+     *  first-entry order, so diffing tools address figures by path. */
+    Json toJson() const;
+};
+
+/**
+ * Process-wide profiler (the simulation is single-threaded). Scopes
+ * (ProfScope) maintain the current position in the tree; instrumented
+ * components attribute cycles at that position via addCycles() or to a
+ * named leaf below it via addLeafCycles().
+ */
+class Profiler
+{
+  public:
+    static Profiler &instance();
+
+    /** Clear the tree and start attributing. Must not be called with
+     *  ProfScopes alive (live scopes detach harmlessly but their spans
+     *  are lost). */
+    void enable();
+
+    /** Stop attributing; the tree remains readable. */
+    void disable() { profdetail::on = false; }
+
+    /** Continue attributing into the existing tree (after disable()). */
+    void resume() { profdetail::on = true; }
+
+    bool enabled() const { return profilerEnabled(); }
+
+    /** Drop the tree (enablement unchanged). */
+    void clear();
+
+    /** Attribute cycles to the innermost open scope (the tree root
+     *  when no scope is open). */
+    void
+    addCycles(Cycles c)
+    {
+#ifndef AOSD_PROFILER_DISABLED
+        if (!profdetail::on)
+            return;
+        cur->selfCycles += c;
+        attributed += c;
+#else
+        (void)c;
+#endif
+    }
+
+    /** Attribute cycles to a named leaf child of the current scope,
+     *  creating it on first use. Counts one attribution event and
+     *  samples the leaf's histogram with `c`. */
+    void addLeafCycles(const char *leaf, Cycles c);
+
+    /** Every cycle attributed since enable(). */
+    Cycles attributedCycles() const { return attributed; }
+
+    /** Root of the attribution tree. */
+    const ProfNode &root() const { return rootNode; }
+
+    /** Node at `path` below the root, nullptr if absent. */
+    const ProfNode *node(const std::vector<std::string> &path) const;
+
+    /** Recomputed sum of selfCycles over the whole tree; equals
+     *  attributedCycles() (the self-check tools and tests assert). */
+    Cycles sumOfLeaves() const;
+
+    /** The root's toJson(). */
+    Json toJson() const;
+
+    /**
+     * Collapsed-stack ("folded") export: one line per node with
+     * self-attributed cycles, frames joined by ';', consumable by
+     * standard flamegraph tooling (flamegraph.pl, speedscope, inferno).
+     * `prefix` frames are prepended to every stack.
+     */
+    std::string collapsedStacks(const std::string &prefix = "") const;
+
+  private:
+    friend class ProfScope;
+
+    Profiler() { rootNode.name = "root"; }
+
+    ProfNode *push(const char *name);
+    void pop(ProfNode *node, Cycles entry_attributed,
+             std::uint64_t entry_generation);
+
+    std::uint64_t generation = 0; ///< bumped by enable()/clear()
+    Cycles attributed = 0;
+    ProfNode rootNode;
+    ProfNode *cur = &rootNode;
+};
+
+/**
+ * RAII span: descends into a named child of the current node for its
+ * lifetime. Exception-safe (the destructor pops); reentrant (a scope
+ * with the name of its parent simply nests). `name` must outlive the
+ * scope (string literals in practice).
+ */
+class ProfScope
+{
+  public:
+    explicit ProfScope(const char *name)
+    {
+#ifndef AOSD_PROFILER_DISABLED
+        if (!profdetail::on)
+            return;
+        Profiler &p = Profiler::instance();
+        entryAttributed = p.attributedCycles();
+        entryGeneration = p.generation;
+        node = p.push(name);
+#else
+        (void)name;
+#endif
+    }
+
+    ~ProfScope()
+    {
+#ifndef AOSD_PROFILER_DISABLED
+        if (node)
+            Profiler::instance().pop(node, entryAttributed,
+                                     entryGeneration);
+#endif
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    ProfNode *node = nullptr;
+    Cycles entryAttributed = 0;
+    std::uint64_t entryGeneration = 0;
+};
+
+/**
+ * RAII attribution pause: helper simulations inside analytic models
+ * (e.g. the LRPC steady-state TLB warm-up) run under one of these so
+ * their charges don't pollute the caller's attribution tree.
+ */
+class ProfPause
+{
+  public:
+    ProfPause() : wasOn(Profiler::instance().enabled())
+    {
+        Profiler::instance().disable();
+    }
+
+    ~ProfPause()
+    {
+        if (wasOn)
+            Profiler::instance().resume();
+    }
+
+    ProfPause(const ProfPause &) = delete;
+    ProfPause &operator=(const ProfPause &) = delete;
+
+  private:
+    bool wasOn;
+};
+
+} // namespace aosd
+
+#endif // AOSD_SIM_PROFILE_PROFILE_HH

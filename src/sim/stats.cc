@@ -14,7 +14,15 @@ Distribution::variance() const
     double mu = mean();
     double var = (sumSq - static_cast<double>(n) * mu * mu) /
                  static_cast<double>(n - 1);
-    return var < 0.0 ? 0.0 : var;
+    // Catastrophic cancellation in sumSq can go slightly negative (or
+    // NaN for extreme inputs); clamp so stddev() stays finite.
+    return std::isfinite(var) && var > 0.0 ? var : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
 }
 
 StatGroup::StatGroup(std::string group_name)
@@ -108,6 +116,7 @@ StatRegistry::resetAll()
 {
     for (StatGroup *g : live)
         g->reset();
+    retired.clear();
 }
 
 void

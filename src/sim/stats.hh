@@ -38,7 +38,14 @@ class Counter
     std::uint64_t total = 0;
 };
 
-/** Accumulates scalar samples; reports count/min/max/mean. */
+/**
+ * Accumulates scalar samples; reports count/min/max/mean.
+ *
+ * Empty-sample semantics: every accessor is total — min/max/mean/
+ * variance/stddev of zero samples are 0.0, never NaN or a division by
+ * zero, so a distribution that saw no events serializes and diffs
+ * cleanly. reset() returns to exactly this empty state.
+ */
 class Distribution
 {
   public:
@@ -67,7 +74,10 @@ class Distribution
     double min() const { return lo; }
     double max() const { return hi; }
     double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    /** Unbiased sample variance; 0.0 with fewer than two samples. */
     double variance() const;
+    /** sqrt(variance()); 0.0 with fewer than two samples. */
+    double stddev() const;
     double total() const { return sum; }
 
   private:
@@ -163,7 +173,9 @@ class StatRegistry
     /** First live group with this name (nullptr if none). */
     const StatGroup *findGroup(const std::string &name) const;
 
-    /** Zero every counter in every live group. */
+    /** Zero every counter in every live group and drop any retired
+     *  aggregates, so a reset registry reads as a fresh run whether or
+     *  not retention is on (retention itself stays enabled). */
     void resetAll();
 
     /**

@@ -1,0 +1,105 @@
+#include "study/perfdiff.hh"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aosd
+{
+
+namespace
+{
+
+void
+flattenInto(const Json &node, const std::string &prefix,
+            std::vector<PerfLeaf> &out)
+{
+    switch (node.kind()) {
+      case Json::Kind::Number:
+        if (!std::isnan(node.asNumber()))
+            out.push_back({prefix, node.asNumber()});
+        return;
+
+      case Json::Kind::Object:
+        for (const auto &[key, value] : node.items())
+            flattenInto(value,
+                        prefix.empty() ? key : prefix + "." + key,
+                        out);
+        return;
+
+      case Json::Kind::Array:
+        for (std::size_t i = 0; i < node.size(); ++i)
+            flattenInto(node.at(i),
+                        (prefix.empty() ? "" : prefix + ".") +
+                            std::to_string(i),
+                        out);
+        return;
+
+      default: // strings, bools, nulls carry no figures
+        return;
+    }
+}
+
+} // namespace
+
+std::vector<PerfLeaf>
+flattenNumericLeaves(const Json &doc)
+{
+    std::vector<PerfLeaf> out;
+    flattenInto(doc, "", out);
+    return out;
+}
+
+PerfDiff
+diffPerfDocs(const Json &old_doc, const Json &new_doc, double rel_tol,
+             double abs_tol)
+{
+    std::vector<PerfLeaf> old_leaves = flattenNumericLeaves(old_doc);
+    std::vector<PerfLeaf> new_leaves = flattenNumericLeaves(new_doc);
+
+    std::unordered_map<std::string, double> new_by_path;
+    for (const PerfLeaf &leaf : new_leaves)
+        new_by_path.emplace(leaf.path, leaf.value);
+
+    PerfDiff diff;
+    std::unordered_set<std::string> seen;
+    for (const PerfLeaf &leaf : old_leaves) {
+        seen.insert(leaf.path);
+        auto it = new_by_path.find(leaf.path);
+        PerfDelta d;
+        d.path = leaf.path;
+        d.oldValue = leaf.value;
+        if (it == new_by_path.end()) {
+            d.kind = PerfDelta::Kind::Missing;
+            ++diff.regressions;
+            diff.deltas.push_back(d);
+            continue;
+        }
+        d.newValue = it->second;
+        ++diff.compared;
+        double denom =
+            std::max(std::fabs(d.oldValue), std::fabs(d.newValue));
+        double abs_delta = std::fabs(d.newValue - d.oldValue);
+        d.relDelta = denom > 0 ? abs_delta / denom : 0;
+        bool within =
+            abs_delta <= abs_tol || d.relDelta <= rel_tol;
+        d.kind = within ? PerfDelta::Kind::Within
+                        : PerfDelta::Kind::Changed;
+        if (!within)
+            ++diff.regressions;
+        diff.deltas.push_back(d);
+    }
+    for (const PerfLeaf &leaf : new_leaves) {
+        if (seen.count(leaf.path))
+            continue;
+        PerfDelta d;
+        d.kind = PerfDelta::Kind::Added;
+        d.path = leaf.path;
+        d.newValue = leaf.value;
+        ++diff.regressions;
+        diff.deltas.push_back(d);
+    }
+    return diff;
+}
+
+} // namespace aosd

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Numeric diffing of two JSON performance documents.
+ *
+ * aosd_profile and aosd_report both emit trees of numeric figures
+ * (cycles, microseconds, counts) keyed by stable object paths. A
+ * run-to-run comparison is therefore one generic operation: flatten
+ * both documents to path -> number, align the paths, and flag any
+ * relative change beyond tolerance. tools/aosd_diff wraps this; the
+ * CI regression gate runs it against checked-in expectations.
+ */
+
+#ifndef AOSD_STUDY_PERFDIFF_HH
+#define AOSD_STUDY_PERFDIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace aosd
+{
+
+/** One numeric leaf: "machines.R2000.null_syscall.cycles_per_call". */
+struct PerfLeaf
+{
+    std::string path;
+    double value = 0;
+};
+
+/** One compared path (or a path present on only one side). */
+struct PerfDelta
+{
+    enum class Kind
+    {
+        Changed, ///< both sides present, beyond tolerance
+        Within,  ///< both sides present, within tolerance
+        Missing, ///< in the old document only
+        Added,   ///< in the new document only
+    };
+
+    Kind kind = Kind::Within;
+    std::string path;
+    double oldValue = 0;
+    double newValue = 0;
+    /** |new - old| / max(|old|, |new|); 0 when either side is absent. */
+    double relDelta = 0;
+};
+
+/** Result of diffing two documents. */
+struct PerfDiff
+{
+    std::vector<PerfDelta> deltas; ///< document order (old, then added)
+    std::size_t compared = 0;      ///< paths present on both sides
+    std::size_t regressions = 0;   ///< Changed + Missing + Added
+
+    bool ok() const { return regressions == 0; }
+};
+
+/**
+ * Depth-first flatten of every numeric leaf under `doc`. Object keys
+ * join with '.', array elements with their index; non-numeric leaves
+ * (strings, bools, nulls) are skipped. NaN leaves are skipped too:
+ * report.json uses NaN-serialized-as-null for "paper has no value".
+ */
+std::vector<PerfLeaf> flattenNumericLeaves(const Json &doc);
+
+/**
+ * Compare two documents leaf by leaf. A pair of values differs when
+ * |new - old| > abs_tol and the relative delta exceeds rel_tol; paths
+ * present on one side only always count as regressions.
+ */
+PerfDiff diffPerfDocs(const Json &old_doc, const Json &new_doc,
+                      double rel_tol, double abs_tol = 1e-9);
+
+} // namespace aosd
+
+#endif // AOSD_STUDY_PERFDIFF_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The perf-diff core behind tools/aosd_diff: flattening of numeric
+ * JSON leaves to stable paths, tolerance handling, detection of
+ * missing/added paths — and the golden-profile check: the checked-in
+ * tests/expected_profile.json diffs clean against itself, and a
+ * perturbed copy is flagged with the offending path named.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "study/perfdiff.hh"
+
+using namespace aosd;
+
+namespace
+{
+
+Json
+parse(const std::string &text)
+{
+    std::string error;
+    Json doc = Json::parse(text, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    return doc;
+}
+
+Json
+loadGoldenProfile()
+{
+    std::string path = std::string(AOSD_SOURCE_DIR) +
+                       "/tests/expected_profile.json";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+TEST(PerfDiff, FlattensNumericLeavesToDottedPaths)
+{
+    Json doc = parse(R"({
+        "a": {"b": 1, "c": [10, 20]},
+        "s": "skip me",
+        "flag": true,
+        "nothing": null,
+        "top": 3.5
+    })");
+    auto leaves = flattenNumericLeaves(doc);
+    ASSERT_EQ(leaves.size(), 4u);
+    EXPECT_EQ(leaves[0].path, "a.b");
+    EXPECT_DOUBLE_EQ(leaves[0].value, 1.0);
+    EXPECT_EQ(leaves[1].path, "a.c.0");
+    EXPECT_EQ(leaves[2].path, "a.c.1");
+    EXPECT_DOUBLE_EQ(leaves[2].value, 20.0);
+    EXPECT_EQ(leaves[3].path, "top");
+}
+
+TEST(PerfDiff, IdenticalDocumentsDiffClean)
+{
+    Json doc = parse(R"({"x": 100, "y": {"z": 0.25}})");
+    PerfDiff diff = diffPerfDocs(doc, doc, 0.01);
+    EXPECT_TRUE(diff.ok());
+    EXPECT_EQ(diff.compared, 2u);
+    EXPECT_EQ(diff.regressions, 0u);
+}
+
+TEST(PerfDiff, ChangeBeyondToleranceNamesThePath)
+{
+    Json old_doc = parse(R"({"m": {"cycles": 100, "us": 5.0}})");
+    Json new_doc = parse(R"({"m": {"cycles": 150, "us": 5.0}})");
+    PerfDiff diff = diffPerfDocs(old_doc, new_doc, 0.01);
+    EXPECT_FALSE(diff.ok());
+    EXPECT_EQ(diff.regressions, 1u);
+    const PerfDelta *bad = nullptr;
+    for (const PerfDelta &d : diff.deltas)
+        if (d.kind == PerfDelta::Kind::Changed)
+            bad = &d;
+    ASSERT_NE(bad, nullptr);
+    EXPECT_EQ(bad->path, "m.cycles");
+    EXPECT_DOUBLE_EQ(bad->oldValue, 100.0);
+    EXPECT_DOUBLE_EQ(bad->newValue, 150.0);
+}
+
+TEST(PerfDiff, ChangeWithinToleranceIsClean)
+{
+    Json old_doc = parse(R"({"v": 100})");
+    Json new_doc = parse(R"({"v": 104})");
+    EXPECT_TRUE(diffPerfDocs(old_doc, new_doc, 0.05).ok());
+    EXPECT_FALSE(diffPerfDocs(old_doc, new_doc, 0.01).ok());
+}
+
+TEST(PerfDiff, AbsoluteSlackCoversNearZeroValues)
+{
+    // 0 -> 1e-6 is a 100% relative change; the absolute floor keeps
+    // numeric dust from failing the gate.
+    Json old_doc = parse(R"({"v": 0})");
+    Json new_doc = parse(R"({"v": 1e-06})");
+    EXPECT_TRUE(diffPerfDocs(old_doc, new_doc, 0.01, 1e-3).ok());
+    EXPECT_FALSE(diffPerfDocs(old_doc, new_doc, 0.01, 1e-9).ok());
+}
+
+TEST(PerfDiff, MissingAndAddedPathsAreRegressions)
+{
+    Json old_doc = parse(R"({"kept": 1, "dropped": 2})");
+    Json new_doc = parse(R"({"kept": 1, "grown": 3})");
+    PerfDiff diff = diffPerfDocs(old_doc, new_doc, 0.01);
+    EXPECT_EQ(diff.compared, 1u);
+    EXPECT_EQ(diff.regressions, 2u);
+    bool saw_missing = false, saw_added = false;
+    for (const PerfDelta &d : diff.deltas) {
+        if (d.kind == PerfDelta::Kind::Missing) {
+            EXPECT_EQ(d.path, "dropped");
+            saw_missing = true;
+        }
+        if (d.kind == PerfDelta::Kind::Added) {
+            EXPECT_EQ(d.path, "grown");
+            saw_added = true;
+        }
+    }
+    EXPECT_TRUE(saw_missing);
+    EXPECT_TRUE(saw_added);
+}
+
+TEST(PerfDiff, GoldenProfileDiffsCleanAgainstItself)
+{
+    Json golden = loadGoldenProfile();
+    PerfDiff diff = diffPerfDocs(golden, golden, 0.01);
+    EXPECT_TRUE(diff.ok());
+    EXPECT_GT(diff.compared, 100u); // a real tree, not a stub
+}
+
+TEST(PerfDiff, PerturbedGoldenProfileIsFlaggedByPath)
+{
+    Json golden = loadGoldenProfile();
+
+    // Deep-copy and bump one figure 50%.
+    Json machines = golden.at("machines");
+    Json cvax = machines.at("CVAX");
+    Json ns = cvax.at("null_syscall");
+    double cycles = ns.at("cycles_per_call").asNumber();
+    ns.set("cycles_per_call", cycles * 1.5);
+    cvax.set("null_syscall", std::move(ns));
+    machines.set("CVAX", std::move(cvax));
+    Json perturbed = golden;
+    perturbed.set("machines", std::move(machines));
+
+    PerfDiff diff = diffPerfDocs(golden, perturbed, 0.01);
+    EXPECT_FALSE(diff.ok());
+    ASSERT_EQ(diff.regressions, 1u);
+    for (const PerfDelta &d : diff.deltas) {
+        if (d.kind == PerfDelta::Kind::Changed)
+            EXPECT_EQ(d.path,
+                      "machines.CVAX.null_syscall.cycles_per_call");
+    }
+}
+
+} // namespace

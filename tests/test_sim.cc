@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
@@ -177,6 +179,53 @@ TEST(Stats, DistributionMoments)
     EXPECT_DOUBLE_EQ(d.max(), 4.0);
     EXPECT_DOUBLE_EQ(d.mean(), 2.5);
     EXPECT_NEAR(d.variance(), 5.0 / 3.0, 1e-9);
+    EXPECT_NEAR(d.stddev(), std::sqrt(5.0 / 3.0), 1e-9);
+}
+
+TEST(Stats, DistributionEmptyAndSingleSampleNeverNaN)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+
+    d.sample(7.5); // one sample: moments defined, spread zero
+    EXPECT_DOUBLE_EQ(d.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+
+    d.reset(); // reset returns to the guarded empty state
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Stats, RegistryResetAllDropsRetiredAggregates)
+{
+    StatRegistry &reg = StatRegistry::instance();
+    reg.setRetainRetired(true);
+    {
+        StatGroup g("transient");
+        g.inc("events", 3);
+    } // destruction folds the counters into "transient.retired"
+
+    auto snapshotHas = [&](const std::string &name) {
+        Json snap = reg.toJson();
+        const Json &groups = snap.at("stat_groups");
+        for (std::size_t i = 0; i < groups.size(); ++i)
+            if (groups.at(i).at("name").asString() == name)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(snapshotHas("transient.retired"));
+
+    reg.resetAll(); // a reset registry reads as a fresh run
+    EXPECT_FALSE(snapshotHas("transient.retired"));
+    EXPECT_TRUE(reg.retainsRetired()); // retention itself persists
+
+    reg.setRetainRetired(false);
 }
 
 TEST(Stats, GroupCountersIndependent)

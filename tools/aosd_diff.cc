@@ -1,0 +1,144 @@
+/**
+ * @file
+ * aosd_diff: run-to-run comparison of performance documents.
+ *
+ *   aosd_diff old.json new.json            # default 1% tolerance
+ *   aosd_diff --tol 0.05 old.json new.json # 5% relative tolerance
+ *   aosd_diff --abs 0.5 old.json new.json  # ignore tiny absolute moves
+ *   aosd_diff --all old.json new.json      # also list unchanged paths
+ *
+ * Works on any JSON document whose leaves are numbers — profile.json
+ * from aosd_profile, report.json from aosd_report, BENCH_simperf.json
+ * from google-benchmark. Both documents are flattened to stable
+ * dotted paths; any pair differing beyond tolerance, and any path
+ * present on only one side, is a regression.
+ *
+ * Exit status: 0 all within tolerance, 1 regressions (each named on
+ * stdout), 2 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/json.hh"
+#include "study/perfdiff.hh"
+
+using namespace aosd;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--tol REL] [--abs ABS] [--all] old.json new.json\n"
+        "  --tol REL  relative tolerance (default 0.01 = 1%%)\n"
+        "  --abs ABS  absolute slack for near-zero values "
+        "(default 1e-9)\n"
+        "  --all      also print paths within tolerance\n",
+        argv0);
+}
+
+bool
+loadJson(const char *path, Json &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    out = Json::parse(buf.str(), &error);
+    if (out.isNull() && !error.empty()) {
+        std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double rel_tol = 0.01;
+    double abs_tol = 1e-9;
+    bool show_all = false;
+    const char *old_path = nullptr;
+    const char *new_path = nullptr;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--tol") {
+            rel_tol = std::atof(value());
+        } else if (arg == "--abs") {
+            abs_tol = std::atof(value());
+        } else if (arg == "--all") {
+            show_all = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!old_path) {
+            old_path = argv[i];
+        } else if (!new_path) {
+            new_path = argv[i];
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (!old_path || !new_path) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    Json old_doc, new_doc;
+    if (!loadJson(old_path, old_doc) || !loadJson(new_path, new_doc))
+        return 2;
+
+    PerfDiff diff = diffPerfDocs(old_doc, new_doc, rel_tol, abs_tol);
+
+    for (const PerfDelta &d : diff.deltas) {
+        switch (d.kind) {
+          case PerfDelta::Kind::Changed:
+            std::printf("REGRESSION %s: %g -> %g (%+.2f%%)\n",
+                        d.path.c_str(), d.oldValue, d.newValue,
+                        100.0 * (d.newValue - d.oldValue) /
+                            (d.oldValue != 0 ? std::abs(d.oldValue)
+                                             : 1.0));
+            break;
+          case PerfDelta::Kind::Missing:
+            std::printf("MISSING    %s: %g -> (absent)\n",
+                        d.path.c_str(), d.oldValue);
+            break;
+          case PerfDelta::Kind::Added:
+            std::printf("ADDED      %s: (absent) -> %g\n",
+                        d.path.c_str(), d.newValue);
+            break;
+          case PerfDelta::Kind::Within:
+            if (show_all)
+                std::printf("ok         %s: %g -> %g\n",
+                            d.path.c_str(), d.oldValue, d.newValue);
+            break;
+        }
+    }
+
+    std::printf("%zu path(s) compared, %zu regression(s) "
+                "(rel tol %g, abs tol %g)\n",
+                diff.compared, diff.regressions, rel_tol, abs_tol);
+    return diff.ok() ? 0 : 1;
+}

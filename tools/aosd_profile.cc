@@ -1,0 +1,259 @@
+/**
+ * @file
+ * aosd_profile: hierarchical cycle attribution for the OS primitives.
+ *
+ *   aosd_profile                          # text tree to stdout
+ *   aosd_profile --json profile.json      # machine-readable document
+ *   aosd_profile --folded profile.folded  # collapsed stacks for
+ *                                         # flamegraph.pl / speedscope
+ *   aosd_profile --reps 32                # repetitions per primitive
+ *   aosd_profile --machines R2000,SPARC   # subset of Table 1
+ *
+ * Every machine × primitive handler runs under the cycle-attribution
+ * profiler; the tool self-checks that the attributed cycles equal the
+ * charged cycles (sum-of-leaves == total) and exits non-zero naming
+ * the offending pair if any cycle went unattributed.
+ *
+ * profile.json schema (version 1):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "generator": "aosd_profile",
+ *     "repetitions": R,
+ *     "machines": {
+ *       "<machine>": {
+ *         "<primitive>": {
+ *           "cycles_per_call": c, "us_per_call": us,
+ *           "total_cycles": n, "attributed_cycles": n,
+ *           "attribution_complete": true,
+ *           "tree": { "self_cycles": ..., "total_cycles": ...,
+ *                     "count": ..., "p50_cycles": ...,
+ *                     "p90_cycles": ..., "p99_cycles": ...,
+ *                     "children": { "<name>": { ... } } }
+ *         }, ...
+ *       }, ...
+ *     },
+ *     "table5_anatomy": {
+ *       "<machine>": { "kernel_entry_exit_us": ..., "call_prep_us":
+ *                      ..., "c_call_return_us": ..., "total_us": ... }
+ *     }
+ *   }
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "arch/machines.hh"
+#include "cpu/profiled_primitives.hh"
+#include "sim/json.hh"
+
+using namespace aosd;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--json path] [--folded path] [--reps N]\n"
+        "          [--machines SLUG[,SLUG...]]\n"
+        "  --json path      write profile.json\n"
+        "  --folded path    write collapsed stacks (flamegraph input)\n"
+        "  --reps N         repetitions per primitive (default 16)\n"
+        "  --machines list  comma-separated machine slugs\n"
+        "                   (default: the five Table 1 machines)\n",
+        argv0);
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    out << content;
+    return true;
+}
+
+void
+printTree(const Json &node, const std::string &name, int depth,
+          double parent_total)
+{
+    double total = node.at("total_cycles").asNumber();
+    double share = parent_total > 0 ? 100.0 * total / parent_total
+                                    : 100.0;
+    std::printf("  %*s%-*s %12.0f cy %5.1f%%", 2 * depth, "",
+                28 - 2 * depth, name.c_str(), total, share);
+    if (node.at("count").asUint() > 0)
+        std::printf("  n=%llu p50=%llu p90=%llu p99=%llu",
+                    static_cast<unsigned long long>(
+                        node.at("count").asUint()),
+                    static_cast<unsigned long long>(
+                        node.at("p50_cycles").asUint()),
+                    static_cast<unsigned long long>(
+                        node.at("p90_cycles").asUint()),
+                    static_cast<unsigned long long>(
+                        node.at("p99_cycles").asUint()));
+    std::printf("\n");
+    for (const auto &[child_name, child] :
+         node.at("children").items())
+        printTree(child, child_name, depth + 1, total);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    std::string folded_path;
+    unsigned reps = 16;
+    std::vector<MachineDesc> machines;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--folded") {
+            folded_path = value();
+        } else if (arg == "--reps") {
+            reps = static_cast<unsigned>(std::atoi(value()));
+            if (reps == 0)
+                reps = 1;
+        } else if (arg == "--machines") {
+            std::string list = value();
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                std::string slug = list.substr(pos, comma - pos);
+                if (!slug.empty())
+                    machines.push_back(
+                        makeMachine(machineFromSlug(slug)));
+                pos = comma + 1;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (machines.empty())
+        machines = table1Machines();
+
+    Json doc = Json::object();
+    doc.set("schema_version", 1);
+    doc.set("generator", "aosd_profile");
+    doc.set("repetitions", static_cast<std::uint64_t>(reps));
+
+    Json machines_json = Json::object();
+    Json anatomy = Json::object();
+    std::string folded;
+    bool text_out = json_path.empty() && folded_path.empty();
+    int incomplete = 0;
+
+    for (const MachineDesc &m : machines) {
+        Json machine_json = Json::object();
+        for (Primitive p : allPrimitives) {
+            ProfiledPrimitiveRun run = profilePrimitive(m, p, reps);
+            double per_call = static_cast<double>(run.totalCycles) /
+                              static_cast<double>(reps);
+
+            Json prim = Json::object();
+            prim.set("cycles_per_call", per_call);
+            prim.set("us_per_call", m.clock.cyclesToMicros(
+                                        static_cast<Cycles>(
+                                            per_call + 0.5)));
+            prim.set("total_cycles", run.totalCycles);
+            prim.set("attributed_cycles", run.attributedCycles);
+            prim.set("attribution_complete", run.complete());
+            prim.set("tree", run.tree);
+            machine_json.set(primitiveSlug(p), std::move(prim));
+            folded += run.folded;
+
+            if (!run.complete()) {
+                ++incomplete;
+                std::fprintf(
+                    stderr,
+                    "SELF-CHECK FAILED %s/%s: charged %llu cycles but "
+                    "attributed %llu\n",
+                    machineSlug(m.id), primitiveSlug(p),
+                    static_cast<unsigned long long>(run.totalCycles),
+                    static_cast<unsigned long long>(
+                        run.attributedCycles));
+            }
+
+            if (p == Primitive::NullSyscall) {
+                Json rows = Json::object();
+                double total = 0;
+                for (PhaseKind ph : {PhaseKind::KernelEntryExit,
+                                     PhaseKind::CallPrep,
+                                     PhaseKind::CCallReturn}) {
+                    double us = m.clock.cyclesToMicros(
+                                    run.phaseCycles(ph)) /
+                                static_cast<double>(reps);
+                    rows.set(std::string(phaseSlug(ph)) + "_us", us);
+                    total += us;
+                }
+                rows.set("total_us", total);
+                anatomy.set(machineSlug(m.id), std::move(rows));
+            }
+
+            if (text_out) {
+                std::printf("%s / %s: %.0f cycles/call (%.2f us), "
+                            "attribution %s\n",
+                            m.name.c_str(), primitiveSlug(p),
+                            per_call,
+                            m.clock.cyclesToMicros(
+                                static_cast<Cycles>(per_call + 0.5)),
+                            run.complete() ? "complete"
+                                           : "INCOMPLETE");
+                printTree(run.tree, "total", 0,
+                          static_cast<double>(run.totalCycles));
+                std::printf("\n");
+            }
+        }
+        machines_json.set(machineSlug(m.id), std::move(machine_json));
+    }
+
+    doc.set("machines", std::move(machines_json));
+    doc.set("table5_anatomy", std::move(anatomy));
+
+    if (!json_path.empty()) {
+        if (!writeFile(json_path, doc.dump(1)))
+            return 2;
+        std::fprintf(stderr, "profile -> %s\n", json_path.c_str());
+    }
+    if (!folded_path.empty()) {
+        if (!writeFile(folded_path, folded))
+            return 2;
+        std::fprintf(stderr, "folded stacks -> %s\n",
+                     folded_path.c_str());
+    }
+
+    if (incomplete) {
+        std::fprintf(stderr,
+                     "%d machine/primitive pair(s) with unattributed "
+                     "cycles\n",
+                     incomplete);
+        return 1;
+    }
+    return 0;
+}
