@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/aosd.hh"
+#include "sim/counters/counters.hh"
 
 using namespace aosd;
 
@@ -52,6 +53,27 @@ BM_HandlerExecutionProfiled(benchmark::State &state)
     Profiler::instance().clear();
 }
 BENCHMARK(BM_HandlerExecutionProfiled);
+
+void
+BM_HandlerExecutionCounted(benchmark::State &state)
+{
+    // Same work again with the hardware counters on: the delta from
+    // BM_HandlerExecution is the counters' enabled cost, and comparing
+    // BM_HandlerExecution across builds with/without
+    // -DAOSD_DISABLE_COUNTERS bounds the disabled cost.
+    MachineDesc m = makeMachine(MachineId::R3000);
+    HandlerProgram prog = buildHandler(m, Primitive::Trap);
+    ExecModel exec(m);
+    HwCounters::instance().enable();
+    for (auto _ : state) {
+        ExecResult r = exec.run(prog);
+        benchmark::DoNotOptimize(r.cycles);
+        exec.reset();
+    }
+    HwCounters::instance().disable();
+    HwCounters::instance().reset();
+}
+BENCHMARK(BM_HandlerExecutionCounted);
 
 void
 BM_TlbLookup(benchmark::State &state)

@@ -76,6 +76,22 @@ InstrStream::trapReturn()
 }
 
 InstrStream &
+InstrStream::windowOverflowTrap()
+{
+    Op op{OpKind::WindowOverflowTrap, 1};
+    op.countsAsInstr = false; // hardware event, like trapEnter(false)
+    return push(op);
+}
+
+InstrStream &
+InstrStream::windowUnderflowTrap()
+{
+    Op op{OpKind::WindowUnderflowTrap, 1};
+    op.countsAsInstr = false;
+    return push(op);
+}
+
+InstrStream &
 InstrStream::ctrlRead(std::uint32_t n)
 {
     return push({OpKind::CtrlRegRead, n});

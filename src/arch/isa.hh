@@ -41,6 +41,8 @@ enum class OpKind
     Microcoded,      ///< CISC instruction with an explicit microcode cost
     AtomicOp,        ///< interlocked memory op (test&set, xmem, ldstub)
     FpuSync,         ///< drain/restart a frozen FP pipeline (88000, i860)
+    WindowOverflowTrap,  ///< SPARC register-window overflow trap entry
+    WindowUnderflowTrap, ///< SPARC register-window underflow trap entry
 };
 
 /** One micro-op (possibly repeated `count` times back to back). */
@@ -83,6 +85,12 @@ class InstrStream
     InstrStream &storeUncached(std::uint32_t n = 1);
     InstrStream &trapEnter(bool counts_as_instr);
     InstrStream &trapReturn();
+    /** Register-window overflow/underflow trap entry: costs exactly a
+     *  hardware trap entry (and is an event, not an instruction), but
+     *  is distinguishable so the tracer and the performance counters
+     *  see the paper's SPARC cost driver. */
+    InstrStream &windowOverflowTrap();
+    InstrStream &windowUnderflowTrap();
     InstrStream &ctrlRead(std::uint32_t n = 1);
     InstrStream &ctrlWrite(std::uint32_t n = 1);
     InstrStream &tlbWrite(std::uint32_t n = 1);

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * One-shot counted runs of the primitive handler programs.
+ *
+ * countPrimitive() executes a primitive's handler under an isolated
+ * hardware-counter session and returns the event counts plus the
+ * cycles-explained reconciliation against the cycles the execution
+ * model charged. tools/aosd_counters builds counters.json from these
+ * runs; the CI gate fails if any Table 1 machine x primitive explains
+ * less than 95% of its cycles through counted events.
+ */
+
+#ifndef AOSD_CPU_COUNTED_PRIMITIVES_HH
+#define AOSD_CPU_COUNTED_PRIMITIVES_HH
+
+#include "arch/isa.hh"
+#include "arch/machine_desc.hh"
+#include "sim/counters/counters.hh"
+#include "sim/counters/reconcile.hh"
+#include "sim/json.hh"
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+/** Everything one counted machine x primitive run produces. */
+struct CountedPrimitiveRun
+{
+    MachineId machine = MachineId::CVAX;
+    Primitive primitive = Primitive::NullSyscall;
+    unsigned repetitions = 0;
+
+    /** Cycles the execution model charged across all repetitions. */
+    Cycles totalCycles = 0;
+
+    /** Events recorded during the window (delta over the run). */
+    CounterSet counters;
+
+    /** counts x penalties vs. totalCycles. */
+    Reconciliation reconciliation;
+
+    /** {"machine":..,"primitive":..,"repetitions":..,"cycles":..,
+     *   "counters":{...},"reconciliation":{...}} */
+    Json toJson() const;
+};
+
+/**
+ * Run `prim`'s handler on `machine` `reps` times under a fresh counter
+ * session and reconcile. The global counter file is reset on entry and
+ * left disabled on exit: callers own the isolation.
+ */
+CountedPrimitiveRun countPrimitive(const MachineDesc &machine,
+                                   Primitive prim, unsigned reps = 1);
+
+} // namespace aosd
+
+#endif // AOSD_CPU_COUNTED_PRIMITIVES_HH

@@ -1,5 +1,6 @@
 #include "cpu/exec_model.hh"
 
+#include "sim/counters/counters.hh"
 #include "sim/logging.hh"
 #include "sim/profile/profile.hh"
 #include "sim/trace.hh"
@@ -65,30 +66,45 @@ ExecModel::chargeOp(const Op &op, Cycles now, CycleBreakdown &bd)
       case OpKind::Alu:
       case OpKind::Nop:
         bd.base += 1;
+        countEvent(HwCounter::IssueSlots);
+        if (op.kind == OpKind::Nop)
+            countEvent(HwCounter::Nops);
         return 1;
 
       case OpKind::Branch: {
         Cycles c = 1 + desc.timing.branchPenaltyCycles;
         bd.base += 1;
         bd.trapHardware += desc.timing.branchPenaltyCycles;
+        countEvent(HwCounter::IssueSlots);
+        countEvent(HwCounter::Branches);
+        countEvent(HwCounter::InterlockCycles,
+                   desc.timing.branchPenaltyCycles);
         return c;
       }
 
       case OpKind::Load: {
         if (op.uncached) {
             bd.uncached += desc.cache.uncachedCycles;
+            countEvent(HwCounter::UncachedAccesses);
             return desc.cache.uncachedCycles;
         }
         Cycles c = 1;
         bd.base += 1;
+        countEvent(HwCounter::IssueSlots);
+        countEvent(HwCounter::Loads);
         if (desc.writeBuffer.readsWaitForDrain) {
             Cycles wait = writeBuffer.drainTime(now);
             c += wait;
             bd.writeBufferStall += wait;
+            if (wait) {
+                countEvent(HwCounter::WbReadWaits);
+                countEvent(HwCounter::WbStallCycles, wait);
+            }
         }
         if (op.coldMiss) {
             c += desc.cache.missPenaltyCycles;
             bd.cacheMissStall += desc.cache.missPenaltyCycles;
+            countEvent(HwCounter::ColdMisses);
         }
         return c;
       }
@@ -96,6 +112,7 @@ ExecModel::chargeOp(const Op &op, Cycles now, CycleBreakdown &bd)
       case OpKind::Store: {
         if (op.uncached) {
             bd.uncached += desc.cache.uncachedCycles;
+            countEvent(HwCounter::UncachedAccesses);
             return desc.cache.uncachedCycles;
         }
         // The store itself issues in one cycle; it may stall waiting
@@ -103,61 +120,97 @@ ExecModel::chargeOp(const Op &op, Cycles now, CycleBreakdown &bd)
         Cycles stall = writeBuffer.store(now + 1, op.samePage);
         bd.base += 1;
         bd.writeBufferStall += stall;
+        countEvent(HwCounter::IssueSlots);
+        countEvent(HwCounter::Stores);
         return 1 + stall;
       }
 
       case OpKind::TrapEnter:
         bd.trapHardware += desc.timing.trapEnterCycles;
+        countEvent(HwCounter::TrapEnters);
         return desc.timing.trapEnterCycles;
 
       case OpKind::TrapReturn:
         bd.trapHardware += desc.timing.trapReturnCycles;
+        countEvent(HwCounter::TrapReturns);
         return desc.timing.trapReturnCycles;
 
       case OpKind::CtrlRegRead:
       case OpKind::CtrlRegWrite:
         bd.ctrlReg += desc.timing.ctrlRegCycles;
+        countEvent(HwCounter::CtrlRegAccesses);
         return desc.timing.ctrlRegCycles;
 
       case OpKind::TlbWrite:
         bd.tlbOps += desc.tlb.writeEntryCycles;
+        countEvent(HwCounter::TlbWriteOps);
         return desc.tlb.writeEntryCycles;
 
       case OpKind::TlbProbe:
         bd.tlbOps += 3;
+        countEvent(HwCounter::TlbProbeOps);
         return 3;
 
       case OpKind::TlbPurgeEntry:
         bd.tlbOps += desc.tlb.purgeEntryCycles;
+        countEvent(HwCounter::TlbPurgeEntryOps);
         return desc.tlb.purgeEntryCycles;
 
       case OpKind::TlbPurgeAll:
         bd.tlbOps += desc.tlb.purgeAllCycles;
+        countEvent(HwCounter::TlbPurgeAllOps);
         return desc.tlb.purgeAllCycles;
 
       case OpKind::CacheFlushLine:
         bd.cacheMaintenance += desc.cache.flushLineCycles;
+        countEvent(HwCounter::CacheFlushLines);
+        Tracer::instance().instant(TraceEvent::CacheFlush,
+                                   "cache_flush_line", 1);
         return desc.cache.flushLineCycles;
 
       case OpKind::CacheFlushAll: {
         Cycles lines = desc.cache.sizeBytes / desc.cache.lineBytes;
         Cycles c = lines * desc.cache.flushLineCycles;
         bd.cacheMaintenance += c;
+        countEvent(HwCounter::CacheFlushLines, lines);
+        Tracer::instance().instant(TraceEvent::CacheFlush,
+                                   "cache_flush_all", lines);
         return c;
       }
 
       case OpKind::Microcoded:
         bd.microcode += op.cycles;
+        countEvent(HwCounter::MicrocodeOps);
+        countEvent(HwCounter::MicrocodeCycles, op.cycles);
         return op.cycles;
 
       case OpKind::AtomicOp:
         // Interlocked ops bypass the cache and lock the bus.
         bd.uncached += desc.cache.uncachedCycles;
+        countEvent(HwCounter::AtomicOps);
         return desc.cache.uncachedCycles;
 
       case OpKind::FpuSync:
         bd.fpuSync += op.cycles;
+        countEvent(HwCounter::FpuSyncCycles, op.cycles);
         return op.cycles;
+
+      case OpKind::WindowOverflowTrap:
+        // Hardware-wise a trap entry; counted and traced as the
+        // paper's SPARC cost driver it is.
+        bd.trapHardware += desc.timing.trapEnterCycles;
+        countEvent(HwCounter::WindowOverflows);
+        countEvent(HwCounter::WindowsSpilled);
+        Tracer::instance().instant(TraceEvent::WindowOverflow,
+                                   "window_overflow");
+        return desc.timing.trapEnterCycles;
+
+      case OpKind::WindowUnderflowTrap:
+        bd.trapHardware += desc.timing.trapEnterCycles;
+        countEvent(HwCounter::WindowUnderflows);
+        Tracer::instance().instant(TraceEvent::WindowUnderflow,
+                                   "window_underflow");
+        return desc.timing.trapEnterCycles;
     }
     panic("unknown op kind");
 }
@@ -170,8 +223,10 @@ ExecModel::runStream(const InstrStream &stream, Cycles start_cycle)
     for (const auto &op : stream.ops()) {
         for (std::uint32_t i = 0; i < op.count; ++i)
             now += chargeOp(op, now, result.breakdown);
-        if (op.countsAsInstr)
+        if (op.countsAsInstr) {
             result.instructions += op.count;
+            countEvent(HwCounter::InstrRetired, op.count);
+        }
     }
     result.cycles = now - start_cycle;
     profileBreakdown(result.breakdown);

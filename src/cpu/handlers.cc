@@ -338,7 +338,7 @@ sparcContextSwitch(const MachineDesc &m)
     int pairs = static_cast<int>(
         m.regWindows.avgSaveRestorePerSwitch + 0.5);
     for (int i = 0; i < pairs; ++i) {
-        body.trapEnter(false); // window overflow trap
+        body.windowOverflowTrap();
         body.append(sparcSaveSeqImpl());
     }
     body.ctrlRead(4);
@@ -350,7 +350,7 @@ sparcContextSwitch(const MachineDesc &m)
     body.branch(12);
     body.nop(30);
     for (int i = 0; i < pairs; ++i) {
-        body.trapEnter(false); // window underflow trap
+        body.windowUnderflowTrap();
         body.append(sparcRestoreSeqImpl());
     }
     p.phases = {{PhaseKind::Body, body}};

@@ -2,6 +2,7 @@
 
 #include "mem/page_table.hh"
 #include "mem/write_buffer.hh"
+#include "sim/counters/counters.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -35,11 +36,18 @@ Cache::access(Addr addr, Asid asid, bool write)
         desc.indexing == CacheIndexing::Physical || line.asid == asid;
     if (line.valid && line.tag == tagOf(addr) && context_match) {
         statGroup.inc("hits");
-        if (write)
+        countEvent(HwCounter::CacheHits);
+        if (write) {
             line.dirty = (desc.policy == WritePolicy::WriteBack);
+            if (desc.policy == WritePolicy::WriteThrough)
+                countEvent(HwCounter::CacheWriteThroughs);
+        }
         return 1;
     }
     statGroup.inc("misses");
+    countEvent(HwCounter::CacheMisses);
+    if (write && desc.policy == WritePolicy::WriteThrough)
+        countEvent(HwCounter::CacheWriteThroughs);
     Cycles cost = 1 + desc.missPenaltyCycles;
     if (line.valid && line.dirty)
         cost += desc.missPenaltyCycles; // writeback of the victim
@@ -67,6 +75,7 @@ Cache::flushPage(Addr page_base, Asid asid)
     statGroup.inc("page_flushes");
     Addr base = page_base & ~(pageBytes - 1);
     Cycles cost = 0;
+    std::uint64_t swept = 0;
     for (Addr a = base; a < base + pageBytes; a += desc.lineBytes) {
         Line &line = lines[index(a)];
         if (line.valid && line.tag == tagOf(a) &&
@@ -77,7 +86,11 @@ Cache::flushPage(Addr page_base, Asid asid)
             line.valid = false;
         }
         cost += desc.flushLineCycles;
+        ++swept;
     }
+    countEvent(HwCounter::CacheFlushLines, swept);
+    Tracer::instance().instant(TraceEvent::CacheFlush,
+                               "cache_flush_page", swept);
     return cost;
 }
 
@@ -92,6 +105,9 @@ Cache::flushAll()
         line.valid = false;
         cost += desc.flushLineCycles;
     }
+    countEvent(HwCounter::CacheFlushLines, lines.size());
+    Tracer::instance().instant(TraceEvent::CacheFlush,
+                               "cache_flush_all", lines.size());
     return cost;
 }
 

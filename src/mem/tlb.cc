@@ -1,5 +1,6 @@
 #include "mem/tlb.hh"
 
+#include "sim/counters/counters.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -50,6 +51,7 @@ Tlb::lookup(Vpn vpn, Asid asid, bool kernel_space)
     if (Entry *e = find(vpn, asid)) {
         e->lastUse = ++useClock;
         statGroup.inc("hits");
+        countEvent(HwCounter::TlbHits);
         return {true, e->pfn, e->prot, 0};
     }
     statGroup.inc("misses");
@@ -61,10 +63,15 @@ Tlb::lookup(Vpn vpn, Asid asid, bool kernel_space)
         cost = kernel_space ? desc.swKernelMissCycles
                             : desc.swUserMissCycles;
     }
+    countEvent(HwCounter::TlbMisses);
+    countEvent(HwCounter::TlbRefillCycles, cost);
     Tracer::instance().instant(TraceEvent::TlbMiss,
                                kernel_space ? "tlb_miss_kernel"
                                             : "tlb_miss_user",
                                cost);
+    Tracer::instance().counter(
+        "tlb_misses",
+        HwCounters::instance().value(HwCounter::TlbMisses));
     return {false, 0, {}, cost};
 }
 
@@ -94,6 +101,7 @@ Tlb::invalidate(Vpn vpn, Asid asid)
         e->valid = false;
         e->locked = false;
         statGroup.inc("entry_purges");
+        countEvent(HwCounter::TlbPurges);
     }
 }
 
@@ -106,6 +114,7 @@ Tlb::invalidateAll()
         e.locked = false;
     }
     statGroup.inc("full_purges");
+    countEvent(HwCounter::TlbPurges);
     Tracer::instance().instant(TraceEvent::TlbPurge, "tlb_purge_all",
                                dropped);
 }
@@ -119,6 +128,7 @@ Tlb::invalidateAsid(Asid asid)
             e.locked = false;
         }
     statGroup.inc("asid_purges");
+    countEvent(HwCounter::TlbPurges);
 }
 
 Cycles

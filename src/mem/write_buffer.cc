@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/counters/counters.hh"
 #include "sim/trace.hh"
 
 namespace aosd
@@ -27,9 +28,12 @@ WriteBuffer::store(Cycles now, bool same_page)
         stall = pending.front() - now;
         now = pending.front();
         pending.pop_front();
-        if (stall > 0)
+        if (stall > 0) {
             Tracer::instance().instant(TraceEvent::WriteBufferStall,
                                        "wb_stall", stall);
+            countEvent(HwCounter::WbStalls);
+            countEvent(HwCounter::WbStallCycles, stall);
+        }
     }
 
     // The new write starts retiring once it reaches the head; memory is
@@ -39,6 +43,9 @@ WriteBuffer::store(Cycles now, bool same_page)
                       ? desc.samePageDrainCycles
                       : desc.drainCycles;
     pending.push_back(start + cost);
+    countEvent(HwCounter::WbStores);
+    countHighWater(HwCounter::WbOccupancyHighWater, pending.size());
+    Tracer::instance().counter("wb_occupancy", pending.size());
     return stall;
 }
 

@@ -2,6 +2,7 @@
 
 #include "cpu/primitive_costs.hh"
 #include "mem/cache.hh"
+#include "sim/counters/counters.hh"
 #include "sim/profile/profile.hh"
 #include "sim/trace.hh"
 
@@ -83,6 +84,11 @@ LrpcModel::nullCall() const
 
     // One copy onto the shared A-stack per direction.
     b.argCopyUs = 2.0 * us(copyCycles(desc, cfg.argBytes));
+
+    // Call + reply ride the same-machine fast path.
+    countEvent(HwCounter::IpcMessages, 2);
+    countEvent(HwCounter::IpcFastPath);
+    countEvent(HwCounter::IpcBytesCopied, 2ull * cfg.argBytes);
 
     auto cyc = [&](double micros) {
         return desc.clock.microsToCycles(micros);

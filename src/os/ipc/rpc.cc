@@ -3,6 +3,7 @@
 #include "cpu/primitive_costs.hh"
 #include "mem/cache.hh"
 #include "os/ipc/message.hh"
+#include "sim/counters/counters.hh"
 #include "sim/trace.hh"
 
 namespace aosd
@@ -46,6 +47,15 @@ SrcRpcModel::roundTrip(std::uint32_t arg_bytes,
 
     std::uint32_t call_pkt = arg_bytes + cfg.protocolHeaderBytes;
     std::uint32_t reply_pkt = result_bytes + cfg.protocolHeaderBytes;
+
+    // A round trip is two messages (call + reply) over the kernel-
+    // mediated network path; marshaling copies both payloads at both
+    // ends.
+    countEvent(HwCounter::IpcMessages, 2);
+    countEvent(HwCounter::IpcSlowPath);
+    countEvent(HwCounter::IpcBytesCopied,
+               static_cast<std::uint64_t>(cfg.copiesPerTransfer) *
+                   (arg_bytes + result_bytes));
 
     // Stubs: fixed bookkeeping; the byte copies are priced separately
     // so the copy component is visible (s2.4).

@@ -2,6 +2,7 @@
 
 #include "cpu/primitive_costs.hh"
 #include "mem/cache.hh"
+#include "sim/counters/counters.hh"
 #include "sim/profile/profile.hh"
 
 namespace aosd
@@ -25,6 +26,11 @@ UrpcModel::nullCall() const
 
     // Arguments onto the shared queue, results off it.
     b.copyUs = 2.0 * us(copyCycles(desc, cfg.argBytes));
+
+    // Call + reply through shared memory, no kernel on the data path.
+    countEvent(HwCounter::IpcMessages, 2);
+    countEvent(HwCounter::IpcFastPath);
+    countEvent(HwCounter::IpcBytesCopied, 2ull * cfg.argBytes);
 
     // The client's thread blocks at user level; the server's runs.
     ThreadCosts costs = computeThreadCosts(desc, cfg.threadOpts);

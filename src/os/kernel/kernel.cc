@@ -1,6 +1,7 @@
 #include "os/kernel/kernel.hh"
 
 #include "cpu/exec_model.hh"
+#include "sim/counters/counters.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -29,6 +30,7 @@ SimKernel::createSpace(const std::string &name)
         Asid wrapped = asid % desc.tlb.pidCount;
         if (asid >= desc.tlb.pidCount) {
             tlbModel.invalidateAsid(wrapped);
+            countEvent(HwCounter::AsidRollovers);
             asid = wrapped == 0 ? 1 : wrapped;
         }
     }
@@ -65,6 +67,7 @@ SimKernel::syscall()
 {
     ProfScope prof("syscall");
     counters.inc(kstat::syscalls);
+    countEvent(HwCounter::KernelSyscalls);
     Cycles start = cycleCount;
     chargePrimitive(Primitive::NullSyscall);
     Tracer::instance().complete(start, cycleCount - start,
@@ -76,6 +79,7 @@ SimKernel::trap()
 {
     ProfScope prof("trap");
     counters.inc(kstat::traps);
+    countEvent(HwCounter::KernelTraps);
     Cycles start = cycleCount;
     Tracer::instance().recordAt(start, TraceEvent::TrapEnter,
                                 TracePhase::Begin, "trap");
@@ -107,8 +111,10 @@ SimKernel::contextSwitchTo(AddressSpace &target)
         return;
     ProfScope prof("context_switch");
     counters.inc(kstat::addrSpaceSwitches);
+    countEvent(HwCounter::ContextSwitches);
     // An address-space switch implies a thread switch (Table 7 note).
     counters.inc(kstat::threadSwitches);
+    countEvent(HwCounter::ThreadSwitches);
     Tracer::instance().recordAt(cycleCount, TraceEvent::ContextSwitch,
                                 TracePhase::Begin, "context_switch");
     chargePrimitive(Primitive::ContextSwitch);
@@ -145,6 +151,7 @@ SimKernel::threadSwitch()
 {
     ProfScope prof("thread_switch");
     counters.inc(kstat::threadSwitches);
+    countEvent(HwCounter::ThreadSwitches);
     Cycles start = cycleCount;
     chargePrimitive(Primitive::ContextSwitch);
     Tracer::instance().complete(start, cycleCount - start,
@@ -156,6 +163,7 @@ void
 SimKernel::emulateInstructions(std::uint64_t n)
 {
     counters.inc(kstat::emulatedInstrs, n);
+    countEvent(HwCounter::EmulatedInstrs, n);
     // Each emulated instruction decodes and interprets in the kernel:
     // a handful of cycles beyond the trap that delivered it.
     Tracer::instance().recordAt(cycleCount, TraceEvent::EmulatedInstr,
@@ -169,6 +177,7 @@ void
 SimKernel::emulateTestAndSet()
 {
     counters.inc(kstat::emulatedInstrs);
+    countEvent(HwCounter::EmulatedInstrs);
     // A dedicated fast trap vector: hardware entry/exit plus a short
     // interrupts-disabled test-and-set sequence (~80 cycles), much
     // cheaper than the general trap path but far dearer than an
@@ -185,6 +194,7 @@ SimKernel::otherException()
 {
     ProfScope prof("exception");
     counters.inc(kstat::otherExceptions);
+    countEvent(HwCounter::KernelTraps);
     Cycles start = cycleCount;
     chargePrimitive(Primitive::Trap);
     Tracer::instance().complete(start, cycleCount - start,

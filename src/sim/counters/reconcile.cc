@@ -1,0 +1,71 @@
+#include "sim/counters/reconcile.hh"
+
+namespace aosd
+{
+
+double
+Reconciliation::explainedPct() const
+{
+    if (actualCycles == 0)
+        return 100.0;
+    return 100.0 * explainedCycles /
+           static_cast<double>(actualCycles);
+}
+
+Json
+Reconciliation::toJson() const
+{
+    Json out = Json::object();
+    out.set("actual_cycles", Json(actualCycles));
+    out.set("explained_cycles", Json(explainedCycles));
+    out.set("explained_pct", Json(explainedPct()));
+    Json terms_json = Json::object();
+    for (const ExplainedTerm &t : terms) {
+        Json row = Json::object();
+        row.set("count", Json(t.count));
+        row.set("penalty_cycles", Json(t.penaltyCycles));
+        row.set("cycles", Json(t.explained()));
+        terms_json.set(counterName(t.counter), std::move(row));
+    }
+    out.set("terms", std::move(terms_json));
+    return out;
+}
+
+Reconciliation
+reconcileCycles(const MachineDesc &m, const CounterSet &events,
+                Cycles actual_cycles)
+{
+    Reconciliation r;
+    r.actualCycles = actual_cycles;
+
+    auto term = [&](HwCounter c, double penalty) {
+        r.terms.push_back({c, events.get(c), penalty});
+        r.explainedCycles += r.terms.back().explained();
+    };
+
+    // The terms mirror ExecModel::chargeOp case by case: each event
+    // class appears exactly once, priced with the same constant the
+    // timing model charges, so an honest run explains 100%.
+    term(HwCounter::IssueSlots, 1.0);
+    term(HwCounter::Branches, m.timing.branchPenaltyCycles);
+    term(HwCounter::ColdMisses, m.cache.missPenaltyCycles);
+    term(HwCounter::WbStallCycles, 1.0);
+    term(HwCounter::UncachedAccesses, m.cache.uncachedCycles);
+    term(HwCounter::AtomicOps, m.cache.uncachedCycles);
+    term(HwCounter::CtrlRegAccesses, m.timing.ctrlRegCycles);
+    term(HwCounter::MicrocodeCycles, 1.0);
+    term(HwCounter::TlbWriteOps, m.tlb.writeEntryCycles);
+    term(HwCounter::TlbProbeOps, 3.0);
+    term(HwCounter::TlbPurgeEntryOps, m.tlb.purgeEntryCycles);
+    term(HwCounter::TlbPurgeAllOps, m.tlb.purgeAllCycles);
+    term(HwCounter::CacheFlushLines, m.cache.flushLineCycles);
+    term(HwCounter::TrapEnters, m.timing.trapEnterCycles);
+    term(HwCounter::TrapReturns, m.timing.trapReturnCycles);
+    term(HwCounter::WindowOverflows, m.timing.trapEnterCycles);
+    term(HwCounter::WindowUnderflows, m.timing.trapEnterCycles);
+    term(HwCounter::FpuSyncCycles, 1.0);
+
+    return r;
+}
+
+} // namespace aosd

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The cycles-explained cross-check.
+ *
+ * The paper's arithmetic for Tables 1/2/5 is "event counts times
+ * per-event penalty equals time": §2.3 prices a DS3100 write-buffer
+ * stall at 5 cycles per stalled store, §3.2 prices a TLB refill, the
+ * SPARC analysis prices a window overflow trap. reconcileCycles()
+ * performs the same multiplication over a CounterSet delta using the
+ * machine's own penalty constants and compares the sum against the
+ * cycles the execution model actually charged (equivalently, the
+ * cycles the profiler attributed — the two are equal by the PR 2
+ * invariant). If the counters and the penalty model are both honest,
+ * 100% of the cycles are explained; a hole means an event source went
+ * uncounted or a penalty drifted from the timing model.
+ */
+
+#ifndef AOSD_SIM_COUNTERS_RECONCILE_HH
+#define AOSD_SIM_COUNTERS_RECONCILE_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/machine_desc.hh"
+#include "sim/counters/counters.hh"
+#include "sim/json.hh"
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+/** One row of the reconciliation table: count x penalty = cycles. */
+struct ExplainedTerm
+{
+    HwCounter counter = HwCounter::NumCounters;
+    std::uint64_t count = 0;
+    /** Modeled per-event penalty in cycles (1 for counters that
+     *  accumulate cycles directly, e.g. wb_stall_cycles). */
+    double penaltyCycles = 0.0;
+
+    double explained() const
+    {
+        return static_cast<double>(count) * penaltyCycles;
+    }
+};
+
+/** Result of reconciling one measurement window. */
+struct Reconciliation
+{
+    Cycles actualCycles = 0;     ///< charged by the execution model
+    double explainedCycles = 0;  ///< sum over terms
+    std::vector<ExplainedTerm> terms;
+
+    /** 100 * explained / actual (100 when both are zero). */
+    double explainedPct() const;
+
+    /** Does the product match within `tol_pct` percentage points in
+     *  either direction? (Overexplaining is as much a bug as
+     *  underexplaining: it means an event was double-counted.) */
+    bool
+    reconciles(double tol_pct = 5.0) const
+    {
+        double pct = explainedPct();
+        return pct >= 100.0 - tol_pct && pct <= 100.0 + tol_pct;
+    }
+
+    /** {"actual_cycles":..,"explained_cycles":..,"explained_pct":..,
+     *   "terms":{"<counter>":{"count":..,"penalty_cycles":..,
+     *            "cycles":..}}} — terms in declaration order. */
+    Json toJson() const;
+};
+
+/**
+ * Multiply the event counts in `events` (a delta over one measurement
+ * window on `machine`) by the machine's modeled penalties and compare
+ * with `actual_cycles`. Every term is emitted, including zero-count
+ * ones, so run-to-run diffs address rows by stable paths.
+ */
+Reconciliation reconcileCycles(const MachineDesc &machine,
+                               const CounterSet &events,
+                               Cycles actual_cycles);
+
+} // namespace aosd
+
+#endif // AOSD_SIM_COUNTERS_RECONCILE_HH

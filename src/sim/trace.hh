@@ -41,21 +41,37 @@ enum class TraceEvent : std::uint8_t
     TlbPurge,         ///< full/asid purge; arg = entries dropped
     WriteBufferStall, ///< store stalled; arg = stall cycles
     CacheMiss,        ///< cache line miss; arg = miss cycles
+    CacheFlush,       ///< cache flush sweep; arg = lines flushed
+    WindowOverflow,   ///< SPARC register-window overflow trap
+    WindowUnderflow,  ///< SPARC register-window underflow trap
     ExecPhase,        ///< handler-program phase (Table 5 phases)
     RpcPhase,         ///< RPC/LRPC component phase (Tables 3/4)
     EmulatedInstr,    ///< kernel instruction emulation; arg = count
+    Counter,          ///< counter-track sample; arg = series value
     Mark,             ///< free-form user marker
 };
 
 const char *traceEventName(TraceEvent e);
 
-/** Chrome trace phase: B(egin), E(nd), X (complete), i (instant). */
+/** Which timeline lane (chrome tid) an event renders in. Events from
+ *  one component share a lane so chrome://tracing / Perfetto shows
+ *  per-component tracks instead of one interleaved row. */
+int traceEventLane(TraceEvent e);
+
+/** Human-readable lane name ("mem/tlb"), emitted as thread_name
+ *  metadata so the UI labels the track. */
+const char *traceLaneName(int lane);
+
+/** Chrome trace phase: B(egin), E(nd), X (complete), i (instant),
+ *  C (counter sample), M (metadata — generated at export only). */
 enum class TracePhase : char
 {
     Begin = 'B',
     End = 'E',
     Complete = 'X',
     Instant = 'i',
+    Counter = 'C',
+    Metadata = 'M',
 };
 
 /** One ring-buffer slot. `name` must point at storage that outlives
@@ -129,6 +145,16 @@ class Tracer
     instant(TraceEvent e, const char *name, std::uint64_t arg = 0)
     {
         record(e, TracePhase::Instant, name, arg);
+    }
+
+    /** Sample a counter track at the current clock: renders as a
+     *  time-series lane ("C" phase) named `series` with value
+     *  `value` (write-buffer occupancy, cumulative miss counts...). */
+    void
+    counter(const char *series, std::uint64_t value)
+    {
+        record(TraceEvent::Counter, TracePhase::Counter, series,
+               value);
     }
 
     void

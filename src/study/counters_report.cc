@@ -1,0 +1,60 @@
+#include "study/counters_report.hh"
+
+#include "arch/machines.hh"
+
+namespace aosd
+{
+
+std::vector<CountedPrimitiveRun>
+countAllPrimitives(const std::vector<MachineDesc> &machines,
+                   unsigned reps)
+{
+    std::vector<CountedPrimitiveRun> runs;
+    for (const MachineDesc &m : machines)
+        for (Primitive p : allPrimitives)
+            runs.push_back(countPrimitive(m, p, reps));
+    return runs;
+}
+
+Json
+buildCountersDoc(const std::vector<CountedPrimitiveRun> &runs,
+                 unsigned reps)
+{
+    Json doc = Json::object();
+    doc.set("schema_version", 1);
+    doc.set("generator", "aosd_counters");
+    doc.set("repetitions", static_cast<std::uint64_t>(reps));
+
+    Json machines_json = Json::object();
+    const char *current = nullptr;
+    Json machine_json;
+    auto flush = [&]() {
+        if (current)
+            machines_json.set(current, std::move(machine_json));
+    };
+    for (const CountedPrimitiveRun &run : runs) {
+        const char *slug = machineSlug(run.machine);
+        if (!current || std::string(current) != slug) {
+            flush();
+            current = slug;
+            machine_json = Json::object();
+        }
+        Json prim = run.toJson();
+        // machine/primitive are the object path; drop the redundancy.
+        Json cell = Json::object();
+        cell.set("cycles", prim.at("cycles"));
+        cell.set("cycles_per_call",
+                 static_cast<double>(run.totalCycles) /
+                     static_cast<double>(
+                         run.repetitions ? run.repetitions : 1));
+        cell.set("counters", prim.at("counters"));
+        cell.set("reconciliation", prim.at("reconciliation"));
+        machine_json.set(primitiveSlug(run.primitive),
+                         std::move(cell));
+    }
+    flush();
+    doc.set("machines", std::move(machines_json));
+    return doc;
+}
+
+} // namespace aosd

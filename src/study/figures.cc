@@ -2,6 +2,7 @@
 
 #include "arch/machines.hh"
 #include "core/study.hh"
+#include "cpu/counted_primitives.hh"
 #include "cpu/handler_variants.hh"
 #include "cpu/handlers.hh"
 #include "cpu/primitive_costs.hh"
@@ -370,13 +371,30 @@ headlineFigures()
 }
 
 std::vector<Figure>
+countersFigures()
+{
+    std::vector<Figure> out;
+    for (const MachineDesc &m : table1Machines()) {
+        for (Primitive p : allPrimitives) {
+            CountedPrimitiveRun run = countPrimitive(m, p);
+            out.push_back(fig(
+                "counters",
+                std::string(primitiveSlug(p)) + "_explained_pct." +
+                    machineSlug(m.id),
+                "percent", run.reconciliation.explainedPct()));
+        }
+    }
+    return out;
+}
+
+std::vector<Figure>
 allFigures()
 {
     std::vector<Figure> out;
     for (auto fn :
          {table1Figures, table2Figures, table3Figures, table4Figures,
           table5Figures, table6Figures, table7Figures,
-          headlineFigures}) {
+          headlineFigures, countersFigures}) {
         auto part = fn();
         out.insert(out.end(), part.begin(), part.end());
     }

@@ -75,6 +75,11 @@ std::vector<Figure> table7Figures();
  *  seconds, register-window share...). */
 std::vector<Figure> headlineFigures();
 
+/** Hardware-counter reconciliation: percent of each Table 1
+ *  machine x primitive's cycles explained by event counts times
+ *  modeled penalties (100 when the counters are honest). */
+std::vector<Figure> countersFigures();
+
 /** All of the above, in table order. */
 std::vector<Figure> allFigures();
 

@@ -172,10 +172,22 @@ TEST_F(TraceRingTest, RingOverflowKeepsNewestRecords)
         EXPECT_EQ(tr.at(i).arg, 6 + i);
         EXPECT_EQ(tr.at(i).cycle, 106 + i);
     }
-    // Export reports the loss.
+    // Export reports the loss. The event array leads with metadata
+    // (one process_name + one thread_name for the single lane in use)
+    // before the 4 surviving records.
     Json doc = tr.toChromeJson();
     EXPECT_EQ(doc.at("otherData").at("dropped_records").asUint(), 6u);
-    EXPECT_EQ(doc.at("traceEvents").size(), 4u);
+    std::size_t records = 0;
+    std::size_t metadata = 0;
+    for (std::size_t i = 0; i < doc.at("traceEvents").size(); ++i) {
+        const Json &ev = doc.at("traceEvents").at(i);
+        if (ev.at("ph").asString() == "M")
+            ++metadata;
+        else
+            ++records;
+    }
+    EXPECT_EQ(records, 4u);
+    EXPECT_EQ(metadata, 2u);
 }
 
 TEST_F(TraceRingTest, DisabledTracerRecordsNothing)

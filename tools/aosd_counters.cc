@@ -1,0 +1,169 @@
+/**
+ * @file
+ * aosd_counters: simulated hardware performance counters and the
+ * cycles-explained cross-check for the OS primitives.
+ *
+ *   aosd_counters                        # reconciliation tables
+ *   aosd_counters --json counters.json   # machine-readable document
+ *   aosd_counters --reps 32              # repetitions per primitive
+ *   aosd_counters --machines R2000,SPARC # subset of Table 1
+ *   aosd_counters --min-explained 95     # gate (percent)
+ *
+ * Every machine x primitive handler runs under the hardware-counter
+ * subsystem; event counts times the machine's modeled penalties must
+ * reproduce the cycles the execution model charged. The tool exits
+ * non-zero naming any pair whose explained share falls outside
+ * [min, 200-min] percent (the default gate is 95%: under-explaining
+ * means an uncounted event source, over-explaining a double count).
+ *
+ * The counters.json schema is documented in
+ * src/study/counters_report.hh and docs/EXPERIMENTS.md.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "arch/machines.hh"
+#include "study/counters_report.hh"
+
+using namespace aosd;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--json path] [--reps N] [--machines SLUG[,...]]\n"
+        "          [--min-explained PCT]\n"
+        "  --json path         write counters.json\n"
+        "  --reps N            repetitions per primitive (default 16)\n"
+        "  --machines list     comma-separated machine slugs\n"
+        "                      (default: the five Table 1 machines)\n"
+        "  --min-explained P   fail below P%% explained (default 95)\n",
+        argv0);
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    out << content;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    unsigned reps = 16;
+    double min_explained = 95.0;
+    std::vector<MachineDesc> machines;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--reps") {
+            reps = static_cast<unsigned>(std::atoi(value()));
+            if (reps == 0)
+                reps = 1;
+        } else if (arg == "--min-explained") {
+            min_explained = std::atof(value());
+        } else if (arg == "--machines") {
+            std::string list = value();
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                std::string slug = list.substr(pos, comma - pos);
+                if (!slug.empty())
+                    machines.push_back(
+                        makeMachine(machineFromSlug(slug)));
+                pos = comma + 1;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (machines.empty())
+        machines = table1Machines();
+
+    std::vector<CountedPrimitiveRun> runs =
+        countAllPrimitives(machines, reps);
+
+    bool text_out = json_path.empty();
+    int failed = 0;
+    for (const CountedPrimitiveRun &run : runs) {
+        const Reconciliation &rec = run.reconciliation;
+        double pct = rec.explainedPct();
+        bool ok = rec.reconciles(100.0 - min_explained);
+        if (!ok) {
+            ++failed;
+            std::fprintf(stderr,
+                         "RECONCILIATION FAILED %s/%s: %.2f%% of %llu "
+                         "cycles explained (gate %.0f%%)\n",
+                         machineSlug(run.machine),
+                         primitiveSlug(run.primitive), pct,
+                         static_cast<unsigned long long>(
+                             run.totalCycles),
+                         min_explained);
+        }
+        if (!text_out)
+            continue;
+        std::printf("%s / %s: %llu cycles, %.2f%% explained%s\n",
+                    machineSlug(run.machine),
+                    primitiveSlug(run.primitive),
+                    static_cast<unsigned long long>(run.totalCycles),
+                    pct, ok ? "" : "  <-- FAILED");
+        for (const ExplainedTerm &t : rec.terms) {
+            if (t.count == 0)
+                continue;
+            std::printf("  %-24s %10llu x %7.1f = %12.0f cy\n",
+                        counterName(t.counter),
+                        static_cast<unsigned long long>(t.count),
+                        t.penaltyCycles, t.explained());
+        }
+        std::printf("\n");
+    }
+
+    if (!json_path.empty()) {
+        Json doc = buildCountersDoc(runs, reps);
+        if (!writeFile(json_path, doc.dump(1)))
+            return 2;
+        std::fprintf(stderr, "counters -> %s\n", json_path.c_str());
+    }
+
+    if (failed) {
+        std::fprintf(stderr,
+                     "%d machine/primitive pair(s) below %.0f%% "
+                     "explained\n",
+                     failed, min_explained);
+        return 1;
+    }
+    return 0;
+}
