@@ -9,6 +9,8 @@
 
 #include "core/aosd.hh"
 #include "sim/counters/counters.hh"
+#include "sim/parallel/parallel_runner.hh"
+#include "study/report.hh"
 
 using namespace aosd;
 
@@ -74,6 +76,28 @@ BM_HandlerExecutionCounted(benchmark::State &state)
     HwCounters::instance().reset();
 }
 BENCHMARK(BM_HandlerExecutionCounted);
+
+void
+BM_HandlerExecutionTraced(benchmark::State &state)
+{
+    // Same work again with the tracer on: the delta from
+    // BM_HandlerExecution is the tracer's enabled cost. With it off,
+    // every trace site in the exec/mem hot paths is a single
+    // thread-local flag test (trcdetail::on), so BM_HandlerExecution
+    // itself is the disabled cost.
+    MachineDesc m = makeMachine(MachineId::R3000);
+    HandlerProgram prog = buildHandler(m, Primitive::Trap);
+    ExecModel exec(m);
+    Tracer::instance().enable(1 << 16);
+    for (auto _ : state) {
+        ExecResult r = exec.run(prog);
+        benchmark::DoNotOptimize(r.cycles);
+        exec.reset();
+    }
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+}
+BENCHMARK(BM_HandlerExecutionTraced);
 
 void
 BM_TlbLookup(benchmark::State &state)
@@ -145,6 +169,39 @@ BM_CopyModel(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CopyModel);
+
+void
+BM_ReportFull(benchmark::State &state)
+{
+    // The whole figure grid, serial: the --jobs 1 wall-clock baseline
+    // that CI's BENCH_report.json speedup column divides by.
+    for (auto _ : state) {
+        ParallelRunner serial(1);
+        Json report = buildReport(serial);
+        benchmark::DoNotOptimize(report.size());
+    }
+}
+BENCHMARK(BM_ReportFull)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void
+BM_ReportParallel(benchmark::State &state)
+{
+    // The same grid fanned over N workers; real time, because the
+    // point is wall-clock speedup (CPU time only goes up with
+    // threads). The output is byte-identical to BM_ReportFull's.
+    for (auto _ : state) {
+        ParallelRunner runner(
+            static_cast<unsigned>(state.range(0)));
+        Json report = buildReport(runner);
+        benchmark::DoNotOptimize(report.size());
+    }
+}
+BENCHMARK(BM_ReportParallel)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 } // namespace
 

@@ -74,6 +74,8 @@ struct WriteBufferDesc
      * non-empty waits for it to drain.
      */
     bool readsWaitForDrain = false;
+
+    bool operator==(const WriteBufferDesc &) const = default;
 };
 
 /** First-level cache parameters. */
@@ -92,6 +94,8 @@ struct CacheDesc
     /** Virtually-addressed caches must be flushed on context switch
      *  unless entries carry process IDs. */
     bool flushOnContextSwitch = false;
+
+    bool operator==(const CacheDesc &) const = default;
 };
 
 /** Translation lookaside buffer parameters. */
@@ -119,6 +123,8 @@ struct TlbDesc
     std::uint32_t writeEntryCycles = 6;
     /** Machine has an unmapped, cached kernel segment (MIPS kseg0). */
     bool unmappedKernelSegment = false;
+
+    bool operator==(const TlbDesc &) const = default;
 };
 
 /** SPARC-style overlapping register windows. */
@@ -129,6 +135,8 @@ struct RegWindowDesc
     /** Average windows spilled+filled per context switch (SunOS data:
      *  three for 8-window SPARCs [Kleiman & Williams 88]). */
     double avgSaveRestorePerSwitch = 3.0;
+
+    bool operator==(const RegWindowDesc &) const = default;
 };
 
 /** Pipeline visibility and exception semantics. */
@@ -144,6 +152,8 @@ struct PipelineDesc
     bool fpuFreezeHazard = false;
     /** Implements precise interrupts (RS6000, SPARC, R2/3000). */
     bool preciseInterrupts = true;
+
+    bool operator==(const PipelineDesc &) const = default;
 };
 
 /** Per-op timing constants for the execution model. */
@@ -158,6 +168,8 @@ struct TimingDesc
     std::uint32_t ctrlRegCycles = 2;
     /** Branch-taken penalty when no delay slot hides it. */
     std::uint32_t branchPenaltyCycles = 0;
+
+    bool operator==(const TimingDesc &) const = default;
 };
 
 /** Identifiers for the machines the paper discusses. */
@@ -224,6 +236,10 @@ struct MachineDesc
     {
         return intRegs + fpStateWords + miscStateWords;
     }
+
+    /** Member-wise equality; the handler-program cache uses it to
+     *  detect ablation-modified descriptions (cpu/handlers.hh). */
+    bool operator==(const MachineDesc &) const = default;
 };
 
 } // namespace aosd

@@ -4,6 +4,7 @@
 #include "cpu/primitive_costs.hh"
 #include "cpu/profiled_primitives.hh"
 #include "os/threads/thread.hh"
+#include "sim/parallel/parallel_runner.hh"
 #include "workload/app_profile.hh"
 
 namespace aosd
@@ -50,23 +51,43 @@ Study::lrpc(MachineId m)
 std::vector<SyscallPhaseResult>
 Study::syscallAnatomy()
 {
+    ParallelRunner serial(1);
+    return syscallAnatomy(serial);
+}
+
+std::vector<SyscallPhaseResult>
+Study::syscallAnatomy(ParallelRunner &runner)
+{
     // The anatomy is read off the cycle-attribution profiler rather
     // than assembled by hand: each phase row is the inclusive total of
     // the corresponding top-level node in the null-syscall attribution
-    // tree, so Table 5 and profile.json can never disagree.
+    // tree, so Table 5 and profile.json can never disagree. One
+    // profiled run per machine, fanned across the runner; rows are
+    // assembled in machine order, so the output matches the serial
+    // loop exactly.
     const PhaseKind phases[] = {PhaseKind::KernelEntryExit,
                                 PhaseKind::CallPrep,
                                 PhaseKind::CCallReturn};
+    const std::vector<MachineDesc> &machines = allMachines();
+    std::vector<std::function<ProfiledPrimitiveRun()>> tasks;
+    tasks.reserve(machines.size());
+    for (const MachineDesc &m : machines)
+        tasks.push_back([&m] {
+            return profilePrimitive(m, Primitive::NullSyscall);
+        });
+    std::vector<ProfiledPrimitiveRun> runs =
+        runner.map<ProfiledPrimitiveRun>(tasks);
+
     std::vector<SyscallPhaseResult> out;
-    for (const MachineDesc &m : allMachines()) {
-        ProfiledPrimitiveRun run =
-            profilePrimitive(m, Primitive::NullSyscall);
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        const MachineDesc &m = machines[i];
         for (PhaseKind ph : phases) {
             SyscallPhaseResult r;
             r.machine = m.id;
             r.machineName = m.name;
             r.phase = ph;
-            r.simMicros = m.clock.cyclesToMicros(run.phaseCycles(ph));
+            r.simMicros =
+                m.clock.cyclesToMicros(runs[i].phaseCycles(ph));
             r.paperMicros = PaperPrimitiveData::table5Micros(m.id, ph);
             out.push_back(r);
         }
@@ -93,15 +114,14 @@ Study::threadState()
 std::vector<Table7Row>
 Study::machStudy(MachineId m)
 {
-    const MachineDesc &machine = sharedCostDb().machine(m);
-    std::vector<Table7Row> rows;
-    for (OsStructure s :
-         {OsStructure::Monolithic, OsStructure::SmallKernel}) {
-        MachSystem system(machine, s);
-        for (const AppProfile &app : table7Workloads())
-            rows.push_back(system.run(app));
-    }
-    return rows;
+    ParallelRunner serial(1);
+    return machStudy(m, serial);
+}
+
+std::vector<Table7Row>
+Study::machStudy(MachineId m, ParallelRunner &runner)
+{
+    return runMachGrid(sharedCostDb().machine(m), runner);
 }
 
 Table7Row

@@ -23,6 +23,8 @@
 namespace aosd
 {
 
+class ParallelRunner;
+
 /** Table 1/2 cell: one primitive on one machine. */
 struct PrimitiveResult
 {
@@ -74,6 +76,12 @@ class Study
     /** Table 5: null-syscall phase decomposition. */
     static std::vector<SyscallPhaseResult> syscallAnatomy();
 
+    /** syscallAnatomy with one profiled run per machine fanned
+     *  across `runner` (results in machine order regardless of
+     *  completion order). */
+    static std::vector<SyscallPhaseResult>
+    syscallAnatomy(ParallelRunner &runner);
+
     /** Table 6: thread state sizes. */
     static std::vector<ThreadStateResult> threadState();
 
@@ -81,6 +89,10 @@ class Study
      *  Machine defaults to the paper's DECstation 5000/200. */
     static std::vector<Table7Row>
     machStudy(MachineId m = MachineId::R3000);
+
+    /** machStudy with one (structure, app) cell per runner job. */
+    static std::vector<Table7Row> machStudy(MachineId m,
+                                            ParallelRunner &runner);
 
     /** One Table 7 row. */
     static Table7Row machRow(const std::string &workload,

@@ -30,7 +30,7 @@ countPrimitive(const MachineDesc &machine, Primitive prim,
     run.primitive = prim;
     run.repetitions = reps;
 
-    HandlerProgram program = buildHandler(machine, prim);
+    const HandlerProgram &program = cachedHandler(machine, prim);
     ExecModel exec(machine);
 
     HwCounters &ctrs = HwCounters::instance();

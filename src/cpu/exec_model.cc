@@ -164,8 +164,9 @@ ExecModel::chargeOp(const Op &op, Cycles now, CycleBreakdown &bd)
       case OpKind::CacheFlushLine:
         bd.cacheMaintenance += desc.cache.flushLineCycles;
         countEvent(HwCounter::CacheFlushLines);
-        Tracer::instance().instant(TraceEvent::CacheFlush,
-                                   "cache_flush_line", 1);
+        if (tracerEnabled())
+            Tracer::instance().instant(TraceEvent::CacheFlush,
+                                       "cache_flush_line", 1);
         return desc.cache.flushLineCycles;
 
       case OpKind::CacheFlushAll: {
@@ -173,8 +174,9 @@ ExecModel::chargeOp(const Op &op, Cycles now, CycleBreakdown &bd)
         Cycles c = lines * desc.cache.flushLineCycles;
         bd.cacheMaintenance += c;
         countEvent(HwCounter::CacheFlushLines, lines);
-        Tracer::instance().instant(TraceEvent::CacheFlush,
-                                   "cache_flush_all", lines);
+        if (tracerEnabled())
+            Tracer::instance().instant(TraceEvent::CacheFlush,
+                                       "cache_flush_all", lines);
         return c;
       }
 
@@ -201,15 +203,17 @@ ExecModel::chargeOp(const Op &op, Cycles now, CycleBreakdown &bd)
         bd.trapHardware += desc.timing.trapEnterCycles;
         countEvent(HwCounter::WindowOverflows);
         countEvent(HwCounter::WindowsSpilled);
-        Tracer::instance().instant(TraceEvent::WindowOverflow,
-                                   "window_overflow");
+        if (tracerEnabled())
+            Tracer::instance().instant(TraceEvent::WindowOverflow,
+                                       "window_overflow");
         return desc.timing.trapEnterCycles;
 
       case OpKind::WindowUnderflowTrap:
         bd.trapHardware += desc.timing.trapEnterCycles;
         countEvent(HwCounter::WindowUnderflows);
-        Tracer::instance().instant(TraceEvent::WindowUnderflow,
-                                   "window_underflow");
+        if (tracerEnabled())
+            Tracer::instance().instant(TraceEvent::WindowUnderflow,
+                                       "window_underflow");
         return desc.timing.trapEnterCycles;
     }
     panic("unknown op kind");
@@ -244,10 +248,11 @@ ExecModel::run(const HandlerProgram &program)
         PhaseResult pr = runStream(phase.code, now);
         pr.kind = phase.kind;
         now += pr.cycles;
-        Tracer::instance().completeHere(pr.cycles,
-                                        TraceEvent::ExecPhase,
-                                        phaseName(pr.kind),
-                                        pr.instructions);
+        if (tracerEnabled())
+            Tracer::instance().completeHere(pr.cycles,
+                                            TraceEvent::ExecPhase,
+                                            phaseName(pr.kind),
+                                            pr.instructions);
         result.instructions += pr.instructions;
         result.breakdown += pr.breakdown;
         result.phases.push_back(std::move(pr));

@@ -198,7 +198,7 @@ buildImprovedHandler(const MachineDesc &machine, Primitive prim,
                      ArchFix fix)
 {
     if (!archFixApplies(fix, machine.id, prim))
-        return buildHandler(machine, prim);
+        return cachedHandler(machine, prim);
     switch (fix) {
       case ArchFix::LazyPipelineCheck:
         return m88kSyscallLazy();

@@ -1,5 +1,8 @@
 #include "cpu/handlers.hh"
 
+#include <map>
+#include <utility>
+
 #include "sim/logging.hh"
 
 /*
@@ -797,6 +800,33 @@ buildHandler(const MachineDesc &machine, Primitive prim)
         break;
     }
     panic("no handler for machine/primitive");
+}
+
+const HandlerProgram &
+cachedHandler(const MachineDesc &machine, Primitive prim)
+{
+    struct CacheEntry
+    {
+        MachineDesc desc;
+        HandlerProgram program;
+    };
+    // Node-based map: entries are address-stable, so returned
+    // references survive later insertions.
+    thread_local std::map<std::pair<int, int>, CacheEntry> cache;
+
+    std::pair<int, int> key{static_cast<int>(machine.id),
+                            static_cast<int>(prim)};
+    auto it = cache.find(key);
+    if (it == cache.end() || !(it->second.desc == machine)) {
+        // Miss, or an ablation-modified desc under a cached id:
+        // (re)build and replace the entry.
+        it = cache
+                 .insert_or_assign(
+                     key,
+                     CacheEntry{machine, buildHandler(machine, prim)})
+                 .first;
+    }
+    return it->second.program;
 }
 
 } // namespace aosd

@@ -24,6 +24,20 @@ namespace aosd
 HandlerProgram buildHandler(const MachineDesc &machine, Primitive prim);
 
 /**
+ * buildHandler, memoized per thread: the figure/counter/profile grids
+ * run the same (machine, primitive) program thousands of times, and
+ * the instruction stream depends only on the MachineDesc, so rebuild-
+ * ing it every rep is pure waste. The cache is keyed by (machine.id,
+ * prim) and validated against a stored copy of the full desc, so
+ * ablation studies that pass a *modified* desc under a stock id get a
+ * fresh build (and replace the cached entry), never a stale program.
+ * The cache is thread_local — each simulation slice memoizes
+ * independently, no locks on the hot path.
+ */
+const HandlerProgram &cachedHandler(const MachineDesc &machine,
+                                    Primitive prim);
+
+/**
  * SPARC register-window spill sequence: pointer arithmetic plus 16
  * stores plus WIM bookkeeping (used inside syscall prep and context
  * switch; also reused by the user-level threads analysis in §4.1).

@@ -18,7 +18,7 @@ PrimitiveCostDb::PrimitiveCostDb()
         machines.emplace(m.id, m);
         ExecModel exec(m);
         for (Primitive p : allPrimitives) {
-            HandlerProgram prog = buildHandler(m, p);
+            const HandlerProgram &prog = cachedHandler(m, p);
             PrimitiveCost c;
             c.machine = m.id;
             c.primitive = p;

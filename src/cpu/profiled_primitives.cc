@@ -24,7 +24,7 @@ profilePrimitive(const MachineDesc &machine, Primitive prim,
     run.primitive = prim;
     run.repetitions = reps;
 
-    HandlerProgram program = buildHandler(machine, prim);
+    const HandlerProgram &program = cachedHandler(machine, prim);
     ExecModel exec(machine);
 
     Profiler &prof = Profiler::instance();

@@ -51,8 +51,9 @@ Cache::access(Addr addr, Asid asid, bool write)
     Cycles cost = 1 + desc.missPenaltyCycles;
     if (line.valid && line.dirty)
         cost += desc.missPenaltyCycles; // writeback of the victim
-    Tracer::instance().instant(TraceEvent::CacheMiss, "cache_miss",
-                               cost);
+    if (tracerEnabled())
+        Tracer::instance().instant(TraceEvent::CacheMiss, "cache_miss",
+                                   cost);
     line.valid = true;
     line.dirty = write && desc.policy == WritePolicy::WriteBack;
     line.tag = tagOf(addr);
@@ -89,8 +90,9 @@ Cache::flushPage(Addr page_base, Asid asid)
         ++swept;
     }
     countEvent(HwCounter::CacheFlushLines, swept);
-    Tracer::instance().instant(TraceEvent::CacheFlush,
-                               "cache_flush_page", swept);
+    if (tracerEnabled())
+        Tracer::instance().instant(TraceEvent::CacheFlush,
+                                   "cache_flush_page", swept);
     return cost;
 }
 
@@ -106,8 +108,9 @@ Cache::flushAll()
         cost += desc.flushLineCycles;
     }
     countEvent(HwCounter::CacheFlushLines, lines.size());
-    Tracer::instance().instant(TraceEvent::CacheFlush,
-                               "cache_flush_all", lines.size());
+    if (tracerEnabled())
+        Tracer::instance().instant(TraceEvent::CacheFlush,
+                                   "cache_flush_all", lines.size());
     return cost;
 }
 

@@ -65,13 +65,15 @@ Tlb::lookup(Vpn vpn, Asid asid, bool kernel_space)
     }
     countEvent(HwCounter::TlbMisses);
     countEvent(HwCounter::TlbRefillCycles, cost);
-    Tracer::instance().instant(TraceEvent::TlbMiss,
-                               kernel_space ? "tlb_miss_kernel"
-                                            : "tlb_miss_user",
-                               cost);
-    Tracer::instance().counter(
-        "tlb_misses",
-        HwCounters::instance().value(HwCounter::TlbMisses));
+    if (tracerEnabled()) {
+        Tracer::instance().instant(TraceEvent::TlbMiss,
+                                   kernel_space ? "tlb_miss_kernel"
+                                                : "tlb_miss_user",
+                                   cost);
+        Tracer::instance().counter(
+            "tlb_misses",
+            HwCounters::instance().value(HwCounter::TlbMisses));
+    }
     return {false, 0, {}, cost};
 }
 
@@ -91,7 +93,8 @@ Tlb::insert(Vpn vpn, Asid asid, Pfn pfn, PageProt prot, bool locked)
     e->prot = prot;
     e->lastUse = ++useClock;
     statGroup.inc("inserts");
-    Tracer::instance().instant(TraceEvent::TlbFill, "tlb_fill", vpn);
+    if (tracerEnabled())
+        Tracer::instance().instant(TraceEvent::TlbFill, "tlb_fill", vpn);
 }
 
 void
@@ -115,8 +118,9 @@ Tlb::invalidateAll()
     }
     statGroup.inc("full_purges");
     countEvent(HwCounter::TlbPurges);
-    Tracer::instance().instant(TraceEvent::TlbPurge, "tlb_purge_all",
-                               dropped);
+    if (tracerEnabled())
+        Tracer::instance().instant(TraceEvent::TlbPurge, "tlb_purge_all",
+                                   dropped);
 }
 
 void

@@ -29,8 +29,9 @@ WriteBuffer::store(Cycles now, bool same_page)
         now = pending.front();
         pending.pop_front();
         if (stall > 0) {
-            Tracer::instance().instant(TraceEvent::WriteBufferStall,
-                                       "wb_stall", stall);
+            if (tracerEnabled())
+                Tracer::instance().instant(TraceEvent::WriteBufferStall,
+                                           "wb_stall", stall);
             countEvent(HwCounter::WbStalls);
             countEvent(HwCounter::WbStallCycles, stall);
         }
@@ -45,7 +46,8 @@ WriteBuffer::store(Cycles now, bool same_page)
     pending.push_back(start + cost);
     countEvent(HwCounter::WbStores);
     countHighWater(HwCounter::WbOccupancyHighWater, pending.size());
-    Tracer::instance().counter("wb_occupancy", pending.size());
+    if (tracerEnabled())
+        Tracer::instance().counter("wb_occupancy", pending.size());
     return stall;
 }
 

@@ -1,12 +1,14 @@
 #include "sim/counters/counters.hh"
 
+#include <algorithm>
+
 namespace aosd
 {
 
 namespace ctrdetail
 {
-bool on = false;
-std::array<std::uint64_t, numHwCounters> vals{};
+thread_local bool on = false;
+thread_local std::array<std::uint64_t, numHwCounters> vals{};
 } // namespace ctrdetail
 
 const char *
@@ -130,6 +132,18 @@ CounterSet::totalEvents() const
         if (!counterIsHighWater(static_cast<HwCounter>(i)))
             n += v[i];
     return n;
+}
+
+void
+CounterSet::merge(const CounterSet &other)
+{
+    for (std::size_t i = 0; i < numHwCounters; ++i) {
+        auto c = static_cast<HwCounter>(i);
+        if (counterIsHighWater(c))
+            v[i] = std::max(v[i], other.v[i]);
+        else
+            v[i] += other.v[i];
+    }
 }
 
 Json

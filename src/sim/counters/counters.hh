@@ -20,6 +20,11 @@
  * and a predictable branch (the profdetail::on pattern). Configure
  * with -DAOSD_DISABLE_COUNTERS=ON to compile the hooks out entirely
  * (used to bound the disabled-but-compiled-in overhead).
+ *
+ * Counter state is per thread: each simulation slice (see
+ * sim/parallel/parallel_runner.hh) counts into its own file, so
+ * parallel jobs never race on a bump, and shards combine with
+ * CounterSet::merge() in task-index order.
  */
 
 #ifndef AOSD_SIM_COUNTERS_COUNTERS_HH
@@ -125,9 +130,10 @@ namespace ctrdetail
 /** The counter subsystem's on/off flag and value array. Namespace-
  *  scope (not behind an instance() call) so the disabled fast path in
  *  the execution model's per-op loop is one non-atomic load and a
- *  branch. */
-extern bool on;
-extern std::array<std::uint64_t, numHwCounters> vals;
+ *  branch, and thread-local so every simulation slice counts into its
+ *  own file without atomics. */
+extern thread_local bool on;
+extern thread_local std::array<std::uint64_t, numHwCounters> vals;
 } // namespace ctrdetail
 
 /** Cheapest possible "are counters on?" check for hot paths. */
@@ -199,6 +205,12 @@ class CounterSet
      *  "did anything happen" probe for tests. */
     std::uint64_t totalEvents() const;
 
+    /** Fold another shard's events into this one: counters sum,
+     *  high-water counters keep the larger value. Commutative and
+     *  associative with the zero CounterSet as identity, so merging
+     *  parallel slices in task-index order is well defined. */
+    void merge(const CounterSet &other);
+
     /** {"<counter_name>": value, ...} — every counter, declaration
      *  order, zeros included (goldens diff cleanly). */
     Json toJson() const;
@@ -210,9 +222,10 @@ class CounterSet
 };
 
 /**
- * Process-wide counter file (the simulation is single-threaded, like
- * the tracer and profiler). enable() resets and starts counting;
- * components bump via countEvent()/countHighWater().
+ * The calling thread's counter file (per-thread, like the tracer and
+ * profiler, so each simulation slice counts independently). enable()
+ * resets and starts counting; components bump via countEvent()/
+ * countHighWater().
  */
 class HwCounters
 {

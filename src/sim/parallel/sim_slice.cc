@@ -1,0 +1,42 @@
+#include "sim/parallel/sim_slice.hh"
+
+namespace aosd
+{
+
+SimSlice &
+SimSlice::current()
+{
+    thread_local SimSlice slice;
+    return slice;
+}
+
+void
+SimSlice::beginStatCapture()
+{
+    StatRegistry &reg = stats();
+    reg.setRetainRetired(true);
+    reg.resetAll();
+}
+
+FlatStats
+SimSlice::captureStats()
+{
+    StatRegistry &reg = stats();
+    FlatStats flat = reg.flatten();
+    reg.resetAll();
+    return flat;
+}
+
+void
+SimSlice::resetInstrumentation()
+{
+    tracer().disable();
+    tracer().clear();
+    profiler().disable();
+    profiler().clear();
+    counters().disable();
+    counters().reset();
+    stats().resetAll();
+}
+
+} // namespace aosd

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SimSlice — one thread's shard of the mutable simulation state.
+ *
+ * Every piece of cross-cutting instrumentation state in the simulator
+ * is thread-local: the trace ring (sim/trace.hh), the cycle-
+ * attribution tree (sim/profile/profile.hh), the hardware counter file
+ * (sim/counters/counters.hh) and the stat registry (sim/stats.hh) all
+ * hand out the *calling thread's* instance, guarded by the
+ * trcdetail::on / profdetail::on / ctrdetail::on thread-local
+ * fast-path flags. SimSlice names that shard: it is the façade a
+ * worker thread uses to reset its arenas before a task and to capture
+ * what the task accumulated, in a value form the coordinating thread
+ * can merge deterministically (task-index order, never completion
+ * order — see parallel_runner.hh).
+ *
+ * A SimSlice is never constructed; current() is a view of the calling
+ * thread's thread_local state.
+ */
+
+#ifndef AOSD_SIM_PARALLEL_SIM_SLICE_HH
+#define AOSD_SIM_PARALLEL_SIM_SLICE_HH
+
+#include "sim/counters/counters.hh"
+#include "sim/profile/profile.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace aosd
+{
+
+/** The calling thread's shard of tracer/profiler/counters/stats. */
+class SimSlice
+{
+  public:
+    /** View of the calling thread's slice. */
+    static SimSlice &current();
+
+    Tracer &tracer() { return Tracer::instance(); }
+    Profiler &profiler() { return Profiler::instance(); }
+    HwCounters &counters() { return HwCounters::instance(); }
+    StatRegistry &stats() { return StatRegistry::instance(); }
+
+    /** Arm the slice for a stats-collecting task: retain retired
+     *  groups and zero everything already accumulated, so the capture
+     *  after the task holds exactly that task's events. */
+    void beginStatCapture();
+
+    /** Flatten everything the slice's registry accumulated and zero
+     *  it for the next task. Returns a value type the coordinating
+     *  thread can absorb in task-index order. */
+    FlatStats captureStats();
+
+    /** Disable and clear every instrumentation arena on this thread —
+     *  the worker-thread equivalent of a fresh process. */
+    void resetInstrumentation();
+
+  private:
+    SimSlice() = default;
+};
+
+} // namespace aosd
+
+#endif // AOSD_SIM_PARALLEL_SIM_SLICE_HH

@@ -1,0 +1,116 @@
+#include "sim/parallel/thread_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace aosd
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        fatal("thread pool needs at least one worker");
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            // Join only a batch that is still live (job != nullptr):
+            // a worker that slept through an entire batch must not
+            // wake into its dismantled state.
+            wake.wait(lk, [&] {
+                return stopping || (job && batchSeq != seen);
+            });
+            if (stopping)
+                return;
+            seen = batchSeq;
+            fn = job;
+            count = jobCount;
+            ++busy;
+        }
+        runIndices(*fn, count);
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            if (--busy == 0)
+                done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::runIndices(const std::function<void(std::size_t)> &fn,
+                       std::size_t count)
+{
+    for (;;) {
+        std::size_t i =
+            nextIndex.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count)
+            return;
+        try {
+            fn(i);
+        } catch (...) {
+            // Slot `i` is this worker's alone; no lock needed.
+            errors[i] = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            if (--remaining == 0)
+                done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::forEachIndex(std::size_t n,
+                         const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    std::unique_lock<std::mutex> lk(mtx);
+    if (job)
+        fatal("thread pool batches cannot nest");
+    job = &fn;
+    jobCount = n;
+    remaining = n;
+    errors.assign(n, nullptr);
+    nextIndex.store(0, std::memory_order_relaxed);
+    ++batchSeq;
+    wake.notify_all();
+    // Wait for every index to finish AND every joined worker to leave
+    // runIndices — a straggler looping once more to discover the
+    // indices are gone must not overlap the next batch's setup.
+    done.wait(lk, [&] { return remaining == 0 && busy == 0; });
+    job = nullptr;
+
+    std::vector<std::exception_ptr> errs = std::move(errors);
+    errors.clear();
+    lk.unlock();
+
+    // First failure by task index — exactly what the serial loop
+    // would have surfaced.
+    for (std::exception_ptr &e : errs)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+} // namespace aosd

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fixed-size worker pool for the parallel simulation runner.
+ *
+ * The pool owns N persistent worker threads and runs one batch of
+ * index-addressed jobs at a time: forEachIndex(n, fn) calls fn(0..n-1)
+ * across the workers and blocks until every index has finished.
+ * Indices are claimed with a single atomic fetch_add — dynamic
+ * scheduling, so an expensive cell (a Table 7 replay) does not leave
+ * the other workers idle behind a static partition.
+ *
+ * Determinism is the caller's job and is easy under this contract:
+ * workers only decide *when* an index runs, never *where its result
+ * goes* — each job writes to its own index-addressed slot and the
+ * caller merges slots in index order (see parallel_runner.hh).
+ *
+ * A job that throws has its exception captured per index; after the
+ * batch, the exception of the lowest-indexed failing job is rethrown
+ * on the submitting thread (the same first-failure the serial loop
+ * would have produced).
+ */
+
+#ifndef AOSD_SIM_PARALLEL_THREAD_POOL_HH
+#define AOSD_SIM_PARALLEL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aosd
+{
+
+/** N persistent workers executing one index batch at a time. */
+class ThreadPool
+{
+  public:
+    /** Spin up `threads` workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Joins the workers; must not be called mid-batch. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * Run fn(0), fn(1), ..., fn(n-1) across the workers; blocks until
+     * all have completed. One batch at a time (not reentrant). If jobs
+     * threw, the exception of the lowest failing index is rethrown
+     * here after the batch has fully drained.
+     */
+    void forEachIndex(std::size_t n,
+                      const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    void runIndices(const std::function<void(std::size_t)> &fn,
+                    std::size_t count);
+
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable wake; ///< workers: a batch is ready
+    std::condition_variable done; ///< submitter: batch finished
+
+    // Batch state (guarded by mtx except where noted). Workers join a
+    // batch by snapshotting job/jobCount under mtx; the submitter
+    // waits until every joined worker has left runIndices (busy == 0)
+    // before tearing the batch down, so no worker ever reads state
+    // from one batch while the next is being set up.
+    const std::function<void(std::size_t)> *job = nullptr;
+    std::size_t jobCount = 0;
+    std::atomic<std::size_t> nextIndex{0}; ///< claimed lock-free
+    std::size_t remaining = 0; ///< indices not yet finished
+    std::size_t busy = 0; ///< workers currently inside runIndices
+    std::uint64_t batchSeq = 0; ///< bumped per batch; wakes workers
+    bool stopping = false;
+    std::vector<std::exception_ptr> errors; ///< per index, batch-sized
+};
+
+} // namespace aosd
+
+#endif // AOSD_SIM_PARALLEL_THREAD_POOL_HH

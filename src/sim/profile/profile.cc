@@ -5,7 +5,7 @@ namespace aosd
 
 namespace profdetail
 {
-bool on = false;
+thread_local bool on = false;
 } // namespace profdetail
 
 ProfNode *
@@ -39,6 +39,16 @@ ProfNode::totalCycles() const
     return total;
 }
 
+void
+ProfNode::mergeFrom(const ProfNode &other)
+{
+    selfCycles += other.selfCycles;
+    entries += other.entries;
+    spans.merge(other.spans);
+    for (const auto &oc : other.children)
+        child(oc->name.c_str())->mergeFrom(*oc);
+}
+
 Json
 ProfNode::toJson() const
 {
@@ -63,7 +73,7 @@ ProfNode::toJson() const
 Profiler &
 Profiler::instance()
 {
-    static Profiler profiler;
+    thread_local Profiler profiler;
     return profiler;
 }
 

@@ -20,6 +20,10 @@
  * Configure with -DAOSD_DISABLE_PROFILER=ON to compile the hooks out
  * entirely (used to bound the disabled-but-compiled-in overhead; see
  * EXPERIMENTS.md).
+ *
+ * Profiler state is per thread: each simulation slice (see
+ * sim/parallel/parallel_runner.hh) attributes into its own tree, and
+ * shard trees combine with ProfNode::mergeFrom() in task-index order.
  */
 
 #ifndef AOSD_SIM_PROFILE_PROFILE_HH
@@ -39,11 +43,12 @@ namespace aosd
 
 namespace profdetail
 {
-/** The profiler's on/off flag. A plain namespace-scope bool (not a
- *  member behind Profiler::instance()) so the disabled fast path in
- *  the simulator's hot loops is one non-atomic load and a branch —
- *  no function-local-static guard. */
-extern bool on;
+/** The profiler's on/off flag. A namespace-scope bool (not a member
+ *  behind Profiler::instance()) so the disabled fast path in the
+ *  simulator's hot loops is one non-atomic load and a branch — no
+ *  function-local-static guard — and thread-local so each simulation
+ *  slice profiles independently. */
+extern thread_local bool on;
 } // namespace profdetail
 
 /** Cheapest possible "is profiling on?" check for hot paths. */
@@ -79,6 +84,13 @@ struct ProfNode
     /** selfCycles plus every descendant's. */
     Cycles totalCycles() const;
 
+    /** Fold another shard's subtree into this one: cycles, entry
+     *  counts and span histograms sum node by node (matched by name;
+     *  unmatched children are deep-copied in the other tree's child
+     *  order). Associative with the empty tree as identity, so merging
+     *  parallel slices in task-index order is well defined. */
+    void mergeFrom(const ProfNode &other);
+
     /** {"self_cycles":..,"total_cycles":..,"count":..,
      *   "p50_cycles":..,"p90_cycles":..,"p99_cycles":..,
      *   "children":{name: {...}}} — children keyed by name, in
@@ -87,14 +99,15 @@ struct ProfNode
 };
 
 /**
- * Process-wide profiler (the simulation is single-threaded). Scopes
- * (ProfScope) maintain the current position in the tree; instrumented
- * components attribute cycles at that position via addCycles() or to a
- * named leaf below it via addLeafCycles().
+ * The calling thread's profiler (per-thread, one per simulation
+ * slice). Scopes (ProfScope) maintain the current position in the
+ * tree; instrumented components attribute cycles at that position via
+ * addCycles() or to a named leaf below it via addLeafCycles().
  */
 class Profiler
 {
   public:
+    /** The calling thread's profiler. */
     static Profiler &instance();
 
     /** Clear the tree and start attributing. Must not be called with

@@ -98,7 +98,7 @@ StatGroup::fromJson(const Json &j)
 StatRegistry &
 StatRegistry::instance()
 {
-    static StatRegistry registry;
+    thread_local StatRegistry registry;
     return registry;
 }
 
@@ -145,6 +145,25 @@ StatRegistry::toJson() const
     Json out = Json::object();
     out.set("stat_groups", std::move(groups));
     return out;
+}
+
+FlatStats
+StatRegistry::flatten() const
+{
+    FlatStats flat = retired;
+    for (const StatGroup *g : live)
+        for (const auto &kv : g->all())
+            flat[g->groupName()][kv.first] += kv.second;
+    return flat;
+}
+
+void
+StatRegistry::absorbRetired(const FlatStats &flat)
+{
+    retainRetired = true;
+    for (const auto &gkv : flat)
+        for (const auto &kv : gkv.second)
+            retired[gkv.first][kv.first] += kv.second;
 }
 
 std::vector<StatGroup>

@@ -6,10 +6,13 @@
  * instrumented Mach (Table 7): every trap, syscall, context switch and TLB
  * miss bumps a counter in a StatGroup owned by the component.
  *
- * Every live StatGroup is also tracked by the process-wide StatRegistry,
+ * Every live StatGroup is also tracked by its thread's StatRegistry,
  * which can snapshot the entire simulation's counters to JSON in one
  * call — the machinery tools/aosd_report and the regression gate use to
- * make runs diffable.
+ * make runs diffable. The registry is per thread (one per simulation
+ * slice, see sim/parallel/parallel_runner.hh); worker-slice stats are
+ * flattened with flatten() and folded into the coordinating thread's
+ * registry with absorbRetired() in task-index order.
  */
 
 #ifndef AOSD_SIM_STATS_HH
@@ -155,16 +158,23 @@ class StatGroup
     std::map<std::string, std::uint64_t> counters;
 };
 
+/** Flattened stats: group name -> counter name -> value. The order-
+ *  independent value form worker slices hand back for merging. */
+using FlatStats =
+    std::map<std::string, std::map<std::string, std::uint64_t>>;
+
 /**
- * Process-wide registry of every live StatGroup. Groups register on
- * construction and deregister on destruction (the simulation is
- * single-threaded, so no locking). Snapshots serialize every group —
- * including short-lived ones inside models, as long as they are alive
- * at snapshot time — giving one JSON document per simulation state.
+ * Per-thread registry of every live StatGroup (one registry per
+ * simulation slice; groups are confined to the thread that made them,
+ * so no locking). Groups register on construction and deregister on
+ * destruction. Snapshots serialize every group — including short-lived
+ * ones inside models, as long as they are alive at snapshot time —
+ * giving one JSON document per simulation state.
  */
 class StatRegistry
 {
   public:
+    /** The calling thread's registry. */
     static StatRegistry &instance();
 
     /** Live groups, in registration order. */
@@ -192,6 +202,18 @@ class StatRegistry
      *  {"stat_groups": [{"name":..., "counters":{...}}, ...]}. */
     Json toJson() const;
 
+    /** Everything this registry knows, folded flat: live groups and
+     *  retired aggregates summed per (group, counter). The value form
+     *  a worker slice captures for the deterministic merge — sums are
+     *  order-independent, so merging shards in task-index order equals
+     *  running the tasks serially. */
+    FlatStats flatten() const;
+
+    /** Fold a worker slice's flattened stats into this registry's
+     *  retired aggregates (retention is switched on as a side effect,
+     *  since absorbed counters have no live group to live in). */
+    void absorbRetired(const FlatStats &flat);
+
     /** Parse a toJson() snapshot back into value-type groups (the
      *  round-trip direction the regression tooling uses). */
     static std::vector<StatGroup> parseSnapshot(const Json &j);
@@ -204,8 +226,7 @@ class StatRegistry
     std::vector<StatGroup *> live;
     bool retainRetired = false;
     /** name -> accumulated counters of destroyed groups. */
-    std::map<std::string, std::map<std::string, std::uint64_t>>
-        retired;
+    FlatStats retired;
 };
 
 } // namespace aosd

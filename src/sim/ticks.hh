@@ -78,6 +78,8 @@ class Clock
         return static_cast<Cycles>(us * 1.0e6 / periodPs + 0.5);
     }
 
+    constexpr bool operator==(const Clock &) const = default;
+
   private:
     Tick periodPs;
 };

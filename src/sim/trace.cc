@@ -5,6 +5,11 @@
 namespace aosd
 {
 
+namespace trcdetail
+{
+thread_local bool on = false;
+} // namespace trcdetail
+
 const char *
 traceEventName(TraceEvent e)
 {
@@ -113,7 +118,7 @@ traceLaneName(int lane)
 Tracer &
 Tracer::instance()
 {
-    static Tracer tracer;
+    thread_local Tracer tracer;
     return tracer;
 }
 
@@ -127,7 +132,7 @@ Tracer::enable(std::size_t cap)
     count = 0;
     droppedCount = 0;
     now = 0;
-    on = true;
+    trcdetail::on = true;
 }
 
 const TraceRecord &

@@ -11,8 +11,14 @@
  * the simulation).
  *
  * Tracing is off by default; when disabled every record call is a
- * single predictable branch. The buffer exports to the chrome://tracing
+ * single predictable branch (trcdetail::on, the ctrdetail::on /
+ * profdetail::on pattern). The buffer exports to the chrome://tracing
  * / Perfetto JSON format, with cycles as the time unit.
+ *
+ * Tracer state is per thread: every simulation slice (see
+ * sim/parallel/parallel_runner.hh) owns its own ring and clock, so
+ * parallel jobs never interleave records. Tracer::instance() is the
+ * calling thread's tracer.
  */
 
 #ifndef AOSD_SIM_TRACE_HH
@@ -62,6 +68,25 @@ int traceEventLane(TraceEvent e);
  *  metadata so the UI labels the track. */
 const char *traceLaneName(int lane);
 
+namespace trcdetail
+{
+/** The tracer's on/off flag. Namespace-scope and thread-local (not a
+ *  member behind Tracer::instance()) so the disabled fast path in the
+ *  execution model's per-op loop is one predictable branch with no
+ *  function-local-static guard, and so each simulation slice traces
+ *  independently. */
+extern thread_local bool on;
+} // namespace trcdetail
+
+/** Cheapest possible "is tracing on?" check for hot paths. Guards the
+ *  Tracer::instance() call itself, so a disabled tracer costs one
+ *  thread-local load and a branch. */
+inline bool
+tracerEnabled()
+{
+    return trcdetail::on;
+}
+
 /** Chrome trace phase: B(egin), E(nd), X (complete), i (instant),
  *  C (counter sample), M (metadata — generated at export only). */
 enum class TracePhase : char
@@ -87,22 +112,23 @@ struct TraceRecord
 };
 
 /**
- * Process-wide tracer (the simulation is single-threaded). Enable with
- * a capacity, drive the clock from whichever component owns time at
- * the moment (SimKernel, ExecModel, the IPC models), and export.
+ * Per-thread tracer (one per simulation slice). Enable with a
+ * capacity, drive the clock from whichever component owns time at the
+ * moment (SimKernel, ExecModel, the IPC models), and export.
  */
 class Tracer
 {
   public:
+    /** The calling thread's tracer. */
     static Tracer &instance();
 
     /** Start tracing into a fresh ring of `capacity` records. */
     void enable(std::size_t capacity = 1 << 16);
 
     /** Stop tracing; the buffer remains readable until enable(). */
-    void disable() { on = false; }
+    void disable() { trcdetail::on = false; }
 
-    bool enabled() const { return on; }
+    bool enabled() const { return trcdetail::on; }
 
     /** Advance the trace clock; records without an explicit cycle are
      *  stamped with the latest value. Never moves backwards. */
@@ -120,7 +146,7 @@ class Tracer
     record(TraceEvent e, TracePhase ph, const char *name,
            std::uint64_t arg = 0, Cycles duration = 0)
     {
-        if (!on)
+        if (!trcdetail::on)
             return;
         push({now, duration, arg, name, e, ph});
     }
@@ -134,7 +160,7 @@ class Tracer
              const char *name, std::uint64_t arg = 0,
              Cycles duration = 0)
     {
-        if (!on)
+        if (!trcdetail::on)
             return;
         setCycle(cycle);
         push({now, duration, arg, name, e, ph});
@@ -161,7 +187,7 @@ class Tracer
     complete(Cycles start, Cycles duration, TraceEvent e,
              const char *name, std::uint64_t arg = 0)
     {
-        if (!on)
+        if (!trcdetail::on)
             return;
         recordAt(start, e, TracePhase::Complete, name, arg, duration);
         setCycle(now + duration);
@@ -215,7 +241,6 @@ class Tracer
         ++count;
     }
 
-    bool on = false;
     Cycles now = 0;
     std::size_t head = 0;   ///< index of the oldest record
     std::size_t count = 0;  ///< live records
@@ -231,12 +256,14 @@ class TraceScope
     TraceScope(TraceEvent e, const char *scope_name)
         : event(e), name(scope_name)
     {
-        Tracer::instance().record(event, TracePhase::Begin, name);
+        if (tracerEnabled())
+            Tracer::instance().record(event, TracePhase::Begin, name);
     }
 
     ~TraceScope()
     {
-        Tracer::instance().record(event, TracePhase::End, name);
+        if (tracerEnabled())
+            Tracer::instance().record(event, TracePhase::End, name);
     }
 
     TraceScope(const TraceScope &) = delete;

@@ -1,6 +1,9 @@
 #include "study/counters_report.hh"
 
+#include <functional>
+
 #include "arch/machines.hh"
+#include "sim/parallel/parallel_runner.hh"
 
 namespace aosd
 {
@@ -9,11 +12,21 @@ std::vector<CountedPrimitiveRun>
 countAllPrimitives(const std::vector<MachineDesc> &machines,
                    unsigned reps)
 {
-    std::vector<CountedPrimitiveRun> runs;
+    ParallelRunner serial(1);
+    return countAllPrimitives(machines, reps, serial);
+}
+
+std::vector<CountedPrimitiveRun>
+countAllPrimitives(const std::vector<MachineDesc> &machines,
+                   unsigned reps, ParallelRunner &runner)
+{
+    std::vector<std::function<CountedPrimitiveRun()>> tasks;
+    tasks.reserve(machines.size() * std::size(allPrimitives));
     for (const MachineDesc &m : machines)
         for (Primitive p : allPrimitives)
-            runs.push_back(countPrimitive(m, p, reps));
-    return runs;
+            tasks.push_back(
+                [&m, p, reps] { return countPrimitive(m, p, reps); });
+    return runner.map<CountedPrimitiveRun>(tasks);
 }
 
 Json

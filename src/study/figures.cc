@@ -1,5 +1,8 @@
 #include "study/figures.hh"
 
+#include <functional>
+#include <utility>
+
 #include "arch/machines.hh"
 #include "core/study.hh"
 #include "cpu/counted_primitives.hh"
@@ -8,6 +11,7 @@
 #include "cpu/primitive_costs.hh"
 #include "os/ipc/lrpc.hh"
 #include "os/ipc/rpc.hh"
+#include "sim/parallel/parallel_runner.hh"
 #include "workload/app_profile.hh"
 
 namespace aosd
@@ -33,6 +37,13 @@ fig(std::string table, std::string id, std::string unit, double sim,
 
 std::vector<Figure>
 table1Figures()
+{
+    ParallelRunner serial(1);
+    return table1Figures(serial);
+}
+
+std::vector<Figure>
+table1Figures(ParallelRunner & /* cells are cheap db reads */)
 {
     const MachineId machines[] = {MachineId::CVAX, MachineId::M88000,
                                   MachineId::R2000, MachineId::R3000,
@@ -64,6 +75,13 @@ table1Figures()
 std::vector<Figure>
 table2Figures()
 {
+    ParallelRunner serial(1);
+    return table2Figures(serial);
+}
+
+std::vector<Figure>
+table2Figures(ParallelRunner & /* cells are cheap db reads */)
+{
     const MachineId machines[] = {MachineId::CVAX, MachineId::M88000,
                                   MachineId::R2000, MachineId::SPARC,
                                   MachineId::I860};
@@ -88,6 +106,13 @@ table2Figures()
 
 std::vector<Figure>
 table3Figures()
+{
+    ParallelRunner serial(1);
+    return table3Figures(serial);
+}
+
+std::vector<Figure>
+table3Figures(ParallelRunner & /* cells are cheap db reads */)
 {
     SrcRpcModel model(sharedCostDb().machine(MachineId::CVAX));
     RpcBreakdown small = model.nullRpc();
@@ -120,6 +145,13 @@ table3Figures()
 std::vector<Figure>
 table4Figures()
 {
+    ParallelRunner serial(1);
+    return table4Figures(serial);
+}
+
+std::vector<Figure>
+table4Figures(ParallelRunner &runner)
+{
     LrpcModel cvax(sharedCostDb().machine(MachineId::CVAX));
     LrpcBreakdown b = cvax.nullCall();
 
@@ -141,24 +173,40 @@ table4Figures()
     out.push_back(fig("table4", "tlb_share.CVAX", "percent",
                       b.tlbPercent(), 25.0));
     // Tagged TLBs keep their entries across the two switches (s3.2).
-    for (const MachineDesc &md : allMachines()) {
-        LrpcModel model(md);
-        LrpcBreakdown lb = model.nullCall();
+    // One job per machine; cells land in machine order.
+    const std::vector<MachineDesc> &machines = allMachines();
+    std::vector<std::function<std::pair<double, double>()>> tasks;
+    tasks.reserve(machines.size());
+    for (const MachineDesc &md : machines)
+        tasks.push_back([&md]() -> std::pair<double, double> {
+            LrpcModel model(md);
+            LrpcBreakdown lb = model.nullCall();
+            return {lb.totalUs(),
+                    static_cast<double>(
+                        model.steadyStateTlbMisses())};
+        });
+    auto cells = runner.map<std::pair<double, double>>(tasks);
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        const char *slug = machineSlug(machines[i].id);
         out.push_back(fig("table4",
-                          std::string("null_lrpc_total_us.") +
-                              machineSlug(md.id),
-                          "us", lb.totalUs()));
-        out.push_back(fig(
-            "table4",
-            std::string("tlb_misses_per_call.") + machineSlug(md.id),
-            "count",
-            static_cast<double>(model.steadyStateTlbMisses())));
+                          std::string("null_lrpc_total_us.") + slug,
+                          "us", cells[i].first));
+        out.push_back(fig("table4",
+                          std::string("tlb_misses_per_call.") + slug,
+                          "count", cells[i].second));
     }
     return out;
 }
 
 std::vector<Figure>
 table5Figures()
+{
+    ParallelRunner serial(1);
+    return table5Figures(serial);
+}
+
+std::vector<Figure>
+table5Figures(ParallelRunner &runner)
 {
     // The paper decomposes CVAX, R2000 and SPARC; the other Table 1
     // machines get the same profiler-derived anatomy with their totals
@@ -167,7 +215,7 @@ table5Figures()
                                   MachineId::R2000, MachineId::R3000,
                                   MachineId::SPARC};
 
-    auto rows = Study::syscallAnatomy();
+    auto rows = Study::syscallAnatomy(runner);
     std::vector<Figure> out;
     for (MachineId m : machines) {
         double total = 0;
@@ -195,6 +243,13 @@ table5Figures()
 
 std::vector<Figure>
 table6Figures()
+{
+    ParallelRunner serial(1);
+    return table6Figures(serial);
+}
+
+std::vector<Figure>
+table6Figures(ParallelRunner & /* cells are cheap db reads */)
 {
     struct PaperRow
     {
@@ -281,8 +336,16 @@ table7RowFigures(std::vector<Figure> &out, const Table7Row &r)
 std::vector<Figure>
 table7Figures()
 {
+    ParallelRunner serial(1);
+    return table7Figures(serial);
+}
+
+std::vector<Figure>
+table7Figures(ParallelRunner &runner)
+{
     std::vector<Figure> out;
-    for (const Table7Row &r : Study::machStudy(MachineId::R3000))
+    for (const Table7Row &r :
+         Study::machStudy(MachineId::R3000, runner))
         table7RowFigures(out, r);
     return out;
 }
@@ -290,12 +353,19 @@ table7Figures()
 std::vector<Figure>
 headlineFigures()
 {
+    ParallelRunner serial(1);
+    return headlineFigures(serial);
+}
+
+std::vector<Figure>
+headlineFigures(ParallelRunner &runner)
+{
     const PrimitiveCostDb &db = sharedCostDb();
     std::vector<Figure> out;
 
     // s5: andrew-remote address-space-switch inflation, 3.0 vs 2.5,
     // and the SPARC's syscall+switch overhead for the same script.
-    auto rows = Study::machStudy(MachineId::R3000);
+    auto rows = Study::machStudy(MachineId::R3000, runner);
     double sw25 = 0, sw30 = 0;
     for (const Table7Row &r : rows) {
         if (r.app != "andrew-remote")
@@ -355,8 +425,8 @@ headlineFigures()
 
     // s3.2: the i860 PTE change is almost entirely cache flushing.
     {
-        HandlerProgram pte = buildHandler(db.machine(MachineId::I860),
-                                          Primitive::PteChange);
+        const HandlerProgram &pte = cachedHandler(
+            db.machine(MachineId::I860), Primitive::PteChange);
         std::uint64_t flush_loop = 0;
         for (const auto &ph : pte.phases)
             flush_loop += ph.code.countOf(OpKind::CacheFlushLine);
@@ -373,29 +443,60 @@ headlineFigures()
 std::vector<Figure>
 countersFigures()
 {
+    ParallelRunner serial(1);
+    return countersFigures(serial);
+}
+
+std::vector<Figure>
+countersFigures(ParallelRunner &runner)
+{
+    // One counted session per (machine, primitive) cell; each cell
+    // opens its own counter window, so the grid fans cleanly.
+    const std::vector<MachineDesc> &machines = table1Machines();
+    std::vector<std::function<double()>> tasks;
+    for (const MachineDesc &m : machines)
+        for (Primitive p : allPrimitives)
+            tasks.push_back([&m, p] {
+                return countPrimitive(m, p)
+                    .reconciliation.explainedPct();
+            });
+    std::vector<double> pct = runner.map<double>(tasks);
+
     std::vector<Figure> out;
-    for (const MachineDesc &m : table1Machines()) {
-        for (Primitive p : allPrimitives) {
-            CountedPrimitiveRun run = countPrimitive(m, p);
+    std::size_t i = 0;
+    for (const MachineDesc &m : machines)
+        for (Primitive p : allPrimitives)
             out.push_back(fig(
                 "counters",
                 std::string(primitiveSlug(p)) + "_explained_pct." +
                     machineSlug(m.id),
-                "percent", run.reconciliation.explainedPct()));
-        }
-    }
+                "percent", pct[i++]));
     return out;
 }
 
 std::vector<Figure>
 allFigures()
 {
+    ParallelRunner serial(1);
+    return allFigures(serial);
+}
+
+std::vector<Figure>
+allFigures(ParallelRunner &runner)
+{
+    using Builder = std::vector<Figure> (*)(ParallelRunner &);
     std::vector<Figure> out;
-    for (auto fn :
-         {table1Figures, table2Figures, table3Figures, table4Figures,
-          table5Figures, table6Figures, table7Figures,
-          headlineFigures, countersFigures}) {
-        auto part = fn();
+    for (Builder fn :
+         {static_cast<Builder>(table1Figures),
+          static_cast<Builder>(table2Figures),
+          static_cast<Builder>(table3Figures),
+          static_cast<Builder>(table4Figures),
+          static_cast<Builder>(table5Figures),
+          static_cast<Builder>(table6Figures),
+          static_cast<Builder>(table7Figures),
+          static_cast<Builder>(headlineFigures),
+          static_cast<Builder>(countersFigures)}) {
+        auto part = fn(runner);
         out.insert(out.end(), part.begin(), part.end());
     }
     return out;

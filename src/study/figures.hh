@@ -50,38 +50,62 @@ struct Figure
     }
 };
 
+class ParallelRunner;
+
+/*
+ * Every builder has two forms: the zero-argument original, and an
+ * overload taking a ParallelRunner that fans the table's independent
+ * simulation cells (one job per machine, primitive or Table 7
+ * (structure, app) cell) across the runner's workers. The zero-arg
+ * form delegates to the overload with a serial (jobs == 1) runner, so
+ * there is exactly one implementation of every table and the two
+ * forms cannot drift apart. Figures always come back in table order —
+ * the runner merges by task index, never completion order — so the
+ * output is byte-identical at any job count.
+ */
+
 /** Table 1: primitive times (us) per machine, vs paper. */
 std::vector<Figure> table1Figures();
+std::vector<Figure> table1Figures(ParallelRunner &runner);
 
 /** Table 2: dynamic instruction counts per machine, vs paper. */
 std::vector<Figure> table2Figures();
+std::vector<Figure> table2Figures(ParallelRunner &runner);
 
 /** Table 3: SRC RPC breakdown (CVAX Firefly) + wire-share anchors. */
 std::vector<Figure> table3Figures();
+std::vector<Figure> table3Figures(ParallelRunner &runner);
 
 /** Table 4: LRPC breakdown, totals and TLB share, vs paper anchors. */
 std::vector<Figure> table4Figures();
+std::vector<Figure> table4Figures(ParallelRunner &runner);
 
 /** Table 5: null-syscall phase decomposition, vs paper. */
 std::vector<Figure> table5Figures();
+std::vector<Figure> table5Figures(ParallelRunner &runner);
 
 /** Table 6: processor thread state words, vs paper. */
 std::vector<Figure> table6Figures();
+std::vector<Figure> table6Figures(ParallelRunner &runner);
 
 /** Table 7: Mach 2.5 vs 3.0 OS-primitive reliance, vs paper. */
 std::vector<Figure> table7Figures();
+std::vector<Figure> table7Figures(ParallelRunner &runner);
 
 /** Headline prose anchors (context-switch inflation, SPARC overhead
  *  seconds, register-window share...). */
 std::vector<Figure> headlineFigures();
+std::vector<Figure> headlineFigures(ParallelRunner &runner);
 
 /** Hardware-counter reconciliation: percent of each Table 1
  *  machine x primitive's cycles explained by event counts times
  *  modeled penalties (100 when the counters are honest). */
 std::vector<Figure> countersFigures();
+std::vector<Figure> countersFigures(ParallelRunner &runner);
 
 /** All of the above, in table order. */
 std::vector<Figure> allFigures();
+std::vector<Figure> allFigures(ParallelRunner &runner);
 
 } // namespace aosd
 

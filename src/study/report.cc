@@ -4,6 +4,7 @@
 #include <map>
 
 #include "arch/machines.hh"
+#include "sim/parallel/parallel_runner.hh"
 #include "sim/logging.hh"
 
 namespace aosd
@@ -88,6 +89,12 @@ Json
 buildReport()
 {
     return buildReport(allFigures());
+}
+
+Json
+buildReport(ParallelRunner &runner)
+{
+    return buildReport(allFigures(runner));
 }
 
 namespace

@@ -53,6 +53,14 @@ Json buildReport(const std::vector<Figure> &figures);
 /** buildReport(allFigures()). */
 Json buildReport();
 
+class ParallelRunner;
+
+/** buildReport(allFigures(runner)) — the same document, with the
+ *  figure grid fanned across the runner's workers. Byte-identical to
+ *  the serial build at any job count (see
+ *  sim/parallel/parallel_runner.hh for why). */
+Json buildReport(ParallelRunner &runner);
+
 /**
  * Compare a freshly built report against an expected snapshot.
  * Returns human-readable mismatch lines (empty == pass): figures

@@ -2,6 +2,7 @@
 
 #include "os/threads/sync.hh"
 #include "sim/logging.hh"
+#include "sim/parallel/parallel_runner.hh"
 
 namespace aosd
 {
@@ -248,6 +249,32 @@ paperTable7Row(const std::string &app, OsStructure structure)
         return row;
     }
     return row;
+}
+
+std::vector<Table7Row>
+runMachGrid(const MachineDesc &machine, ParallelRunner &runner,
+            OsModelConfig config)
+{
+    // Structure-major cell order, exactly as the serial study loops.
+    struct Cell
+    {
+        OsStructure structure;
+        AppProfile app;
+    };
+    std::vector<Cell> cells;
+    for (OsStructure s :
+         {OsStructure::Monolithic, OsStructure::SmallKernel})
+        for (const AppProfile &app : table7Workloads())
+            cells.push_back({s, app});
+
+    std::vector<std::function<Table7Row()>> tasks;
+    tasks.reserve(cells.size());
+    for (const Cell &cell : cells)
+        tasks.push_back([&machine, &cell, config] {
+            MachSystem system(machine, cell.structure, config);
+            return system.run(cell.app);
+        });
+    return runner.map<Table7Row>(tasks);
 }
 
 } // namespace aosd

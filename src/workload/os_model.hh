@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "arch/machine_desc.hh"
 #include "os/kernel/kernel.hh"
@@ -108,6 +109,20 @@ class MachSystem
 /** Paper values for Table 7 (for benches/tests). Returns a row with
  *  zeros when the paper has no such entry. */
 Table7Row paperTable7Row(const std::string &app, OsStructure structure);
+
+class ParallelRunner;
+
+/**
+ * The full Table 7 grid for one machine: every (OS structure, app)
+ * cell, structure-major — the order machStudy has always produced.
+ * Each cell replays its app in its own simulation slice (fresh
+ * MachSystem, fresh SimKernel, per-app-seeded Rng), so the runner can
+ * fan the cells across workers and still hand back rows bit-for-bit
+ * identical to the serial loop.
+ */
+std::vector<Table7Row> runMachGrid(const MachineDesc &machine,
+                                   ParallelRunner &runner,
+                                   OsModelConfig config = {});
 
 } // namespace aosd
 

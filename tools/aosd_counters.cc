@@ -8,6 +8,7 @@
  *   aosd_counters --reps 32              # repetitions per primitive
  *   aosd_counters --machines R2000,SPARC # subset of Table 1
  *   aosd_counters --min-explained 95     # gate (percent)
+ *   aosd_counters --jobs 8               # parallel counting grid
  *
  * Every machine x primitive handler runs under the hardware-counter
  * subsystem; event counts times the machine's modeled penalties must
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "arch/machines.hh"
+#include "sim/parallel/parallel_runner.hh"
 #include "study/counters_report.hh"
 
 using namespace aosd;
@@ -40,12 +42,15 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--json path] [--reps N] [--machines SLUG[,...]]\n"
-        "          [--min-explained PCT]\n"
+        "          [--min-explained PCT] [--jobs N]\n"
         "  --json path         write counters.json\n"
         "  --reps N            repetitions per primitive (default 16)\n"
         "  --machines list     comma-separated machine slugs\n"
         "                      (default: the five Table 1 machines)\n"
-        "  --min-explained P   fail below P%% explained (default 95)\n",
+        "  --min-explained P   fail below P%% explained (default 95)\n"
+        "  --jobs N            worker threads (default: all cores;\n"
+        "                      1 = serial; output is identical either "
+        "way)\n",
         argv0);
 }
 
@@ -69,6 +74,7 @@ main(int argc, char **argv)
 {
     std::string json_path;
     unsigned reps = 16;
+    unsigned jobs = ParallelRunner::defaultJobs();
     double min_explained = 95.0;
     std::vector<MachineDesc> machines;
 
@@ -89,6 +95,10 @@ main(int argc, char **argv)
                 reps = 1;
         } else if (arg == "--min-explained") {
             min_explained = std::atof(value());
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::atoi(value()));
+            if (jobs == 0)
+                jobs = ParallelRunner::defaultJobs();
         } else if (arg == "--machines") {
             std::string list = value();
             std::size_t pos = 0;
@@ -113,8 +123,9 @@ main(int argc, char **argv)
     if (machines.empty())
         machines = table1Machines();
 
+    ParallelRunner runner(jobs);
     std::vector<CountedPrimitiveRun> runs =
-        countAllPrimitives(machines, reps);
+        countAllPrimitives(machines, reps, runner);
 
     bool text_out = json_path.empty();
     int failed = 0;

@@ -8,36 +8,15 @@
  *                                         # flamegraph.pl / speedscope
  *   aosd_profile --reps 32                # repetitions per primitive
  *   aosd_profile --machines R2000,SPARC   # subset of Table 1
+ *   aosd_profile --jobs 8                 # parallel profiling grid
  *
  * Every machine × primitive handler runs under the cycle-attribution
  * profiler; the tool self-checks that the attributed cycles equal the
  * charged cycles (sum-of-leaves == total) and exits non-zero naming
  * the offending pair if any cycle went unattributed.
  *
- * profile.json schema (version 1):
- *
- *   {
- *     "schema_version": 1,
- *     "generator": "aosd_profile",
- *     "repetitions": R,
- *     "machines": {
- *       "<machine>": {
- *         "<primitive>": {
- *           "cycles_per_call": c, "us_per_call": us,
- *           "total_cycles": n, "attributed_cycles": n,
- *           "attribution_complete": true,
- *           "tree": { "self_cycles": ..., "total_cycles": ...,
- *                     "count": ..., "p50_cycles": ...,
- *                     "p90_cycles": ..., "p99_cycles": ...,
- *                     "children": { "<name>": { ... } } }
- *         }, ...
- *       }, ...
- *     },
- *     "table5_anatomy": {
- *       "<machine>": { "kernel_entry_exit_us": ..., "call_prep_us":
- *                      ..., "c_call_return_us": ..., "total_us": ... }
- *     }
- *   }
+ * The document itself is built by study/profile_report.cc (schema
+ * there); the output is byte-identical at any --jobs value.
  */
 
 #include <cstdio>
@@ -46,8 +25,8 @@
 #include <vector>
 
 #include "arch/machines.hh"
-#include "cpu/profiled_primitives.hh"
-#include "sim/json.hh"
+#include "sim/parallel/parallel_runner.hh"
+#include "study/profile_report.hh"
 
 using namespace aosd;
 
@@ -60,12 +39,15 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--json path] [--folded path] [--reps N]\n"
-        "          [--machines SLUG[,SLUG...]]\n"
+        "          [--machines SLUG[,SLUG...]] [--jobs N]\n"
         "  --json path      write profile.json\n"
         "  --folded path    write collapsed stacks (flamegraph input)\n"
         "  --reps N         repetitions per primitive (default 16)\n"
         "  --machines list  comma-separated machine slugs\n"
-        "                   (default: the five Table 1 machines)\n",
+        "                   (default: the five Table 1 machines)\n"
+        "  --jobs N         worker threads (default: all cores;\n"
+        "                   1 = serial; output is identical either "
+        "way)\n",
         argv0);
 }
 
@@ -115,6 +97,7 @@ main(int argc, char **argv)
     std::string json_path;
     std::string folded_path;
     unsigned reps = 16;
+    unsigned jobs = ParallelRunner::defaultJobs();
     std::vector<MachineDesc> machines;
 
     for (int i = 1; i < argc; ++i) {
@@ -134,6 +117,10 @@ main(int argc, char **argv)
             reps = static_cast<unsigned>(std::atoi(value()));
             if (reps == 0)
                 reps = 1;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::atoi(value()));
+            if (jobs == 0)
+                jobs = ParallelRunner::defaultJobs();
         } else if (arg == "--machines") {
             std::string list = value();
             std::size_t pos = 0;
@@ -158,65 +145,34 @@ main(int argc, char **argv)
     if (machines.empty())
         machines = table1Machines();
 
-    Json doc = Json::object();
-    doc.set("schema_version", 1);
-    doc.set("generator", "aosd_profile");
-    doc.set("repetitions", static_cast<std::uint64_t>(reps));
+    ParallelRunner runner(jobs);
+    std::vector<ProfiledPrimitiveRun> runs =
+        profileAllPrimitives(machines, reps, runner);
+    Json doc = buildProfileDoc(machines, runs, reps);
 
-    Json machines_json = Json::object();
-    Json anatomy = Json::object();
-    std::string folded;
     bool text_out = json_path.empty() && folded_path.empty();
     int incomplete = 0;
+    for (const ProfiledPrimitiveRun &run : runs) {
+        if (!run.complete()) {
+            ++incomplete;
+            std::fprintf(
+                stderr,
+                "SELF-CHECK FAILED %s/%s: charged %llu cycles but "
+                "attributed %llu\n",
+                machineSlug(run.machine), primitiveSlug(run.primitive),
+                static_cast<unsigned long long>(run.totalCycles),
+                static_cast<unsigned long long>(run.attributedCycles));
+        }
+    }
 
-    for (const MachineDesc &m : machines) {
-        Json machine_json = Json::object();
-        for (Primitive p : allPrimitives) {
-            ProfiledPrimitiveRun run = profilePrimitive(m, p, reps);
-            double per_call = static_cast<double>(run.totalCycles) /
-                              static_cast<double>(reps);
-
-            Json prim = Json::object();
-            prim.set("cycles_per_call", per_call);
-            prim.set("us_per_call", m.clock.cyclesToMicros(
-                                        static_cast<Cycles>(
-                                            per_call + 0.5)));
-            prim.set("total_cycles", run.totalCycles);
-            prim.set("attributed_cycles", run.attributedCycles);
-            prim.set("attribution_complete", run.complete());
-            prim.set("tree", run.tree);
-            machine_json.set(primitiveSlug(p), std::move(prim));
-            folded += run.folded;
-
-            if (!run.complete()) {
-                ++incomplete;
-                std::fprintf(
-                    stderr,
-                    "SELF-CHECK FAILED %s/%s: charged %llu cycles but "
-                    "attributed %llu\n",
-                    machineSlug(m.id), primitiveSlug(p),
-                    static_cast<unsigned long long>(run.totalCycles),
-                    static_cast<unsigned long long>(
-                        run.attributedCycles));
-            }
-
-            if (p == Primitive::NullSyscall) {
-                Json rows = Json::object();
-                double total = 0;
-                for (PhaseKind ph : {PhaseKind::KernelEntryExit,
-                                     PhaseKind::CallPrep,
-                                     PhaseKind::CCallReturn}) {
-                    double us = m.clock.cyclesToMicros(
-                                    run.phaseCycles(ph)) /
-                                static_cast<double>(reps);
-                    rows.set(std::string(phaseSlug(ph)) + "_us", us);
-                    total += us;
-                }
-                rows.set("total_us", total);
-                anatomy.set(machineSlug(m.id), std::move(rows));
-            }
-
-            if (text_out) {
+    if (text_out) {
+        std::size_t next = 0;
+        for (const MachineDesc &m : machines) {
+            for (Primitive p : allPrimitives) {
+                const ProfiledPrimitiveRun &run = runs.at(next++);
+                double per_call =
+                    static_cast<double>(run.totalCycles) /
+                    static_cast<double>(reps);
                 std::printf("%s / %s: %.0f cycles/call (%.2f us), "
                             "attribution %s\n",
                             m.name.c_str(), primitiveSlug(p),
@@ -230,11 +186,7 @@ main(int argc, char **argv)
                 std::printf("\n");
             }
         }
-        machines_json.set(machineSlug(m.id), std::move(machine_json));
     }
-
-    doc.set("machines", std::move(machines_json));
-    doc.set("table5_anatomy", std::move(anatomy));
 
     if (!json_path.empty()) {
         if (!writeFile(json_path, doc.dump(1)))
@@ -242,7 +194,7 @@ main(int argc, char **argv)
         std::fprintf(stderr, "profile -> %s\n", json_path.c_str());
     }
     if (!folded_path.empty()) {
-        if (!writeFile(folded_path, folded))
+        if (!writeFile(folded_path, foldedStacks(runs)))
             return 2;
         std::fprintf(stderr, "folded stacks -> %s\n",
                      folded_path.c_str());

@@ -9,20 +9,28 @@
  *   aosd_report --trace trace.json   # also write a chrome://tracing
  *                                    # timeline of the whole run
  *   aosd_report --stats stats.json   # also snapshot every StatGroup
+ *   aosd_report --jobs 8             # fan the figure grid over 8
+ *                                    # worker threads
  *
  * The report covers Tables 1-7 plus the paper's headline prose
  * figures; every entry carries the simulated value, the paper's value
  * where the paper gives one, and the relative error. CI regenerates
  * the report on every commit and fails if any figure drifts from the
  * checked-in snapshot (tests/test_report_regression.cc).
+ *
+ * report.json is byte-identical at any --jobs value (CI diffs
+ * --jobs 1 against --jobs 8); --trace forces --jobs 1 because the
+ * timeline of one run interleaved across workers is not a timeline.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "sim/logging.hh"
+#include "sim/parallel/parallel_runner.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 #include "sim/trace.hh"
@@ -40,9 +48,14 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--json [path]] [--trace path] [--stats path]\n"
+        "          [--jobs N]\n"
         "  --json [path]  write report.json (stdout when no path)\n"
         "  --trace path   write a chrome://tracing timeline\n"
-        "  --stats path   write a StatRegistry snapshot\n",
+        "                 (forces --jobs 1)\n"
+        "  --stats path   write a StatRegistry snapshot\n"
+        "  --jobs N       worker threads (default: all cores;\n"
+        "                 1 = serial; report is identical either "
+        "way)\n",
         argv0);
 }
 
@@ -104,6 +117,7 @@ main(int argc, char **argv)
     std::string json_path;
     std::string trace_path;
     std::string stats_path;
+    unsigned jobs = ParallelRunner::defaultJobs();
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -125,6 +139,13 @@ main(int argc, char **argv)
         } else if (arg == "--stats") {
             if (!takesValue(stats_path))
                 return 2;
+        } else if (arg == "--jobs") {
+            std::string jobs_arg;
+            if (!takesValue(jobs_arg))
+                return 2;
+            jobs = static_cast<unsigned>(std::atoi(jobs_arg.c_str()));
+            if (jobs == 0)
+                jobs = ParallelRunner::defaultJobs();
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -134,12 +155,22 @@ main(int argc, char **argv)
         }
     }
 
+    if (!trace_path.empty() && jobs != 1) {
+        std::fprintf(stderr,
+                     "--trace forces --jobs 1 (a timeline interleaved "
+                     "across workers is not a timeline)\n");
+        jobs = 1;
+    }
+
     if (!trace_path.empty())
         Tracer::instance().enable(1 << 16);
     if (!stats_path.empty())
         StatRegistry::instance().setRetainRetired(true);
 
-    Json report = buildReport();
+    ParallelRunner runner(jobs);
+    if (!stats_path.empty())
+        runner.setCollectStats(true);
+    Json report = buildReport(runner);
 
     if (!trace_path.empty()) {
         Tracer::instance().disable();
