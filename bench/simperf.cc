@@ -160,6 +160,26 @@ BM_WorkloadRun(benchmark::State &state)
 BENCHMARK(BM_WorkloadRun);
 
 void
+BM_WorkloadRunSampled(benchmark::State &state)
+{
+    // BM_WorkloadRun with the periodic counter sampler on: the delta
+    // against BM_WorkloadRun is the enabled sampling cost, and
+    // comparing BM_WorkloadRun itself across builds with/without
+    // -DAOSD_DISABLE_SAMPLER bounds the disabled-but-compiled-in cost
+    // (CI gates that below 3%).
+    const MachineDesc &m = sharedCostDb().machine(MachineId::R3000);
+    AppProfile app = workloadByName("spellcheck-1");
+    OsModelConfig cfg;
+    cfg.samplingIntervalCycles = 1'000'000;
+    for (auto _ : state) {
+        MachSystem sys(m, OsStructure::SmallKernel, cfg);
+        Table7Row row = sys.run(app);
+        benchmark::DoNotOptimize(row.timeseries.samples.size());
+    }
+}
+BENCHMARK(BM_WorkloadRunSampled);
+
+void
 BM_CopyModel(benchmark::State &state)
 {
     const MachineDesc &m = sharedCostDb().machine(MachineId::R3000);

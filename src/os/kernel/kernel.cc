@@ -8,6 +8,22 @@
 namespace aosd
 {
 
+KernelWindowCosts
+kernelWindowCosts(const MachineDesc &machine)
+{
+    const PrimitiveCostDb &db = sharedCostDb();
+    KernelWindowCosts c;
+    c.syscallCycles = db.cycles(machine.id, Primitive::NullSyscall);
+    c.trapCycles = db.cycles(machine.id, Primitive::Trap);
+    c.switchCycles = db.cycles(machine.id, Primitive::ContextSwitch);
+    c.pteChangeCycles = db.cycles(machine.id, Primitive::PteChange);
+    c.emulInstrCycles = emulatedInstrCycles;
+    c.emulTasCycles = machine.timing.trapEnterCycles +
+                      machine.timing.trapReturnCycles +
+                      emulatedTasSequenceCycles;
+    return c;
+}
+
 SimKernel::SimKernel(const MachineDesc &machine)
     : desc(machine), costs(sharedCostDb()), tlbModel(machine.tlb),
       cacheModel(machine.cache)
@@ -93,6 +109,7 @@ SimKernel::pteChange(AddressSpace &space, Vpn vpn, PageProt prot)
 {
     ProfScope prof("pte_change");
     counters.inc(kstat::pteChanges);
+    countEvent(HwCounter::PteChanges);
     chargePrimitive(Primitive::PteChange);
     space.pageTable().protect(vpn, prot);
     tlbModel.invalidate(vpn, space.asid());
@@ -122,15 +139,19 @@ SimKernel::contextSwitchTo(AddressSpace &target)
     Cycles purge = tlbModel.switchContext();
     cycleCount += purge;
     primCycles += purge;
-    if (purge)
+    if (purge) {
+        countEvent(HwCounter::TlbPurgeCycles, purge);
         Profiler::instance().addLeafCycles("tlb_purge", purge);
+    }
 
     bool cache_tagged = !desc.cache.flushOnContextSwitch;
     Cycles flush = cacheModel.switchContext(cache_tagged);
     cycleCount += flush;
     primCycles += flush;
-    if (flush)
+    if (flush) {
+        countEvent(HwCounter::CacheFlushCycles, flush);
         Profiler::instance().addLeafCycles("cache_flush", flush);
+    }
 
     for (std::size_t i = 0; i < spaces.size(); ++i) {
         if (spaces[i].get() == &target) {
@@ -168,9 +189,10 @@ SimKernel::emulateInstructions(std::uint64_t n)
     // a handful of cycles beyond the trap that delivered it.
     Tracer::instance().recordAt(cycleCount, TraceEvent::EmulatedInstr,
                                 TracePhase::Instant, "emulate", n);
-    cycleCount += n * 4;
-    primCycles += n * 4;
-    Profiler::instance().addLeafCycles("emulate_instr", n * 4);
+    Cycles c = n * emulatedInstrCycles;
+    cycleCount += c;
+    primCycles += c;
+    Profiler::instance().addLeafCycles("emulate_instr", c);
 }
 
 void
@@ -178,12 +200,14 @@ SimKernel::emulateTestAndSet()
 {
     counters.inc(kstat::emulatedInstrs);
     countEvent(HwCounter::EmulatedInstrs);
+    countEvent(HwCounter::EmulatedTasOps);
     // A dedicated fast trap vector: hardware entry/exit plus a short
     // interrupts-disabled test-and-set sequence (~80 cycles), much
     // cheaper than the general trap path but far dearer than an
     // atomic instruction would be.
     Cycles c = desc.timing.trapEnterCycles +
-               desc.timing.trapReturnCycles + 70;
+               desc.timing.trapReturnCycles +
+               emulatedTasSequenceCycles;
     cycleCount += c;
     primCycles += c;
     Profiler::instance().addLeafCycles("emulated_test_and_set", c);

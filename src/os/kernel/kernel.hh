@@ -23,6 +23,7 @@
 #include "mem/cache.hh"
 #include "mem/tlb.hh"
 #include "os/kernel/address_space.hh"
+#include "sim/counters/reconcile.hh"
 #include "sim/profile/profile.hh"
 #include "sim/stats.hh"
 
@@ -42,6 +43,17 @@ inline constexpr const char *userTlbMisses = "user_tlb_misses";
 inline constexpr const char *otherExceptions = "other_exceptions";
 inline constexpr const char *pteChanges = "pte_changes";
 } // namespace kstat
+
+/** Interrupts-disabled test-and-set sequence of the kernel's emulated
+ *  test&set fast trap, beyond the trap entry/exit hardware cost. */
+inline constexpr Cycles emulatedTasSequenceCycles = 70;
+
+/** Per-emulated-instruction decode-and-interpret cost. */
+inline constexpr Cycles emulatedInstrCycles = 4;
+
+/** The per-event prices SimKernel charges on `machine`, for
+ *  reconcileKernelWindow() over a workload window. */
+KernelWindowCosts kernelWindowCosts(const MachineDesc &machine);
 
 /** One machine's kernel: time accounting + counting + TLB/cache state. */
 class SimKernel

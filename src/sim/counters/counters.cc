@@ -107,6 +107,16 @@ counterName(HwCounter c)
         return "ipc_fast_path";
       case HwCounter::IpcSlowPath:
         return "ipc_slow_path";
+      case HwCounter::ProcedureCalls:
+        return "procedure_calls";
+      case HwCounter::PteChanges:
+        return "pte_changes";
+      case HwCounter::EmulatedTasOps:
+        return "emulated_tas_ops";
+      case HwCounter::TlbPurgeCycles:
+        return "tlb_purge_cycles";
+      case HwCounter::CacheFlushCycles:
+        return "cache_flush_cycles";
       case HwCounter::NumCounters:
         break;
     }

@@ -108,6 +108,14 @@ enum class HwCounter : std::uint16_t
     IpcFastPath, ///< LRPC/URPC fast-path takes
     IpcSlowPath, ///< network-RPC / kernel-mediated slow path
 
+    // ---- workload / kernel-window accounting ----------------------
+    ProcedureCalls,   ///< user-level procedure calls (Synapse, §4.1)
+    PteChanges,       ///< pte_change primitive invocations
+    EmulatedTasOps,   ///< fast-trap emulated test&set ops (a subset
+                      ///< of EmulatedInstrs priced differently)
+    TlbPurgeCycles,   ///< cycles purging an untagged TLB on switch
+    CacheFlushCycles, ///< cycles flushing a virtual cache on switch
+
     NumCounters, ///< sentinel — keep last
 };
 

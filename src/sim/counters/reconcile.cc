@@ -68,4 +68,52 @@ reconcileCycles(const MachineDesc &m, const CounterSet &events,
     return r;
 }
 
+Reconciliation
+reconcileKernelWindow(const KernelWindowCosts &costs,
+                      const CounterSet &events,
+                      Cycles primitive_cycles)
+{
+    Reconciliation r;
+    r.actualCycles = primitive_cycles;
+
+    auto term = [&](HwCounter c, std::uint64_t count, double penalty) {
+        r.terms.push_back({c, count, penalty});
+        r.explainedCycles += r.terms.back().explained();
+    };
+
+    // The terms mirror SimKernel's primCycles bookkeeping case by
+    // case. Both switch kinds charge Primitive::ContextSwitch and both
+    // bump ThreadSwitches (an address-space switch implies a thread
+    // switch), so ThreadSwitches alone prices the switches; the extra
+    // hardware costs of the mapping change (TLB purge, cache flush,
+    // working-set refill) arrive through the cycle-valued counters.
+    term(HwCounter::KernelSyscalls,
+         events.get(HwCounter::KernelSyscalls),
+         static_cast<double>(costs.syscallCycles));
+    term(HwCounter::KernelTraps, events.get(HwCounter::KernelTraps),
+         static_cast<double>(costs.trapCycles));
+    term(HwCounter::ThreadSwitches,
+         events.get(HwCounter::ThreadSwitches),
+         static_cast<double>(costs.switchCycles));
+    term(HwCounter::PteChanges, events.get(HwCounter::PteChanges),
+         static_cast<double>(costs.pteChangeCycles));
+    // EmulatedInstrs mixes two prices: the general decode-and-
+    // interpret path and the dedicated test&set fast trap. The
+    // EmulatedTasOps counter disambiguates.
+    std::uint64_t emul = events.get(HwCounter::EmulatedInstrs);
+    std::uint64_t tas = events.get(HwCounter::EmulatedTasOps);
+    term(HwCounter::EmulatedInstrs, emul >= tas ? emul - tas : 0,
+         static_cast<double>(costs.emulInstrCycles));
+    term(HwCounter::EmulatedTasOps, tas,
+         static_cast<double>(costs.emulTasCycles));
+    term(HwCounter::TlbRefillCycles,
+         events.get(HwCounter::TlbRefillCycles), 1.0);
+    term(HwCounter::TlbPurgeCycles,
+         events.get(HwCounter::TlbPurgeCycles), 1.0);
+    term(HwCounter::CacheFlushCycles,
+         events.get(HwCounter::CacheFlushCycles), 1.0);
+
+    return r;
+}
+
 } // namespace aosd

@@ -80,6 +80,35 @@ Reconciliation reconcileCycles(const MachineDesc &machine,
                                const CounterSet &events,
                                Cycles actual_cycles);
 
+/**
+ * Per-event prices of the SimKernel's primitive operations, for
+ * reconciling a *workload window* rather than a single handler run.
+ * Built by kernelWindowCosts() (os/kernel/kernel.hh) from the shared
+ * primitive-cost database, so the check prices events with the very
+ * constants the kernel charges.
+ */
+struct KernelWindowCosts
+{
+    Cycles syscallCycles = 0;   ///< Primitive::NullSyscall
+    Cycles trapCycles = 0;      ///< Primitive::Trap (traps + exceptions)
+    Cycles switchCycles = 0;    ///< Primitive::ContextSwitch
+    Cycles pteChangeCycles = 0; ///< Primitive::PteChange
+    Cycles emulInstrCycles = 0; ///< per emulated instruction (decode+interp)
+    Cycles emulTasCycles = 0;   ///< fast-trap emulated test&set
+};
+
+/**
+ * The cycles-explained cross-check over a SimKernel workload window:
+ * every kernel primitive the window counted, times its modeled cost,
+ * plus the cycle-valued counters (TLB refills, TLB purges, cache
+ * flushes), must reproduce the kernel's primitiveCycles() — the §5
+ * "time in OS primitives" numerator — to within the same 95-105% gate
+ * as the handler-program check.
+ */
+Reconciliation reconcileKernelWindow(const KernelWindowCosts &costs,
+                                     const CounterSet &events,
+                                     Cycles primitive_cycles);
+
 } // namespace aosd
 
 #endif // AOSD_SIM_COUNTERS_RECONCILE_HH

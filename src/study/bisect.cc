@@ -1,0 +1,274 @@
+#include "study/bisect.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace aosd
+{
+
+namespace
+{
+
+/** One reconciliation-bearing cell of a document. */
+struct CellRef
+{
+    std::string unit;
+    const Json *rec = nullptr;
+};
+
+void
+collectCountersCells(const Json &doc, std::vector<CellRef> &out)
+{
+    const Json *machines = doc.find("machines");
+    if (!machines || !machines->isObject())
+        return;
+    for (const auto &mkv : machines->items()) {
+        if (!mkv.second.isObject())
+            continue;
+        for (const auto &pkv : mkv.second.items()) {
+            const Json *rec = pkv.second.find("reconciliation");
+            if (rec && rec->isObject())
+                out.push_back({mkv.first + "/" + pkv.first, rec});
+        }
+    }
+}
+
+void
+collectKernelWindowCells(const Json &doc, std::vector<CellRef> &out)
+{
+    const Json *cells = doc.find("cells");
+    if (!cells || !cells->isObject())
+        return;
+    for (const auto &kv : cells->items()) {
+        const Json *rec = kv.second.find("kernel_window");
+        if (!rec)
+            rec = kv.second.find("reconciliation");
+        if (rec && rec->isObject())
+            out.push_back({kv.first, rec});
+    }
+}
+
+double
+numberAt(const Json *obj, const char *key)
+{
+    if (!obj)
+        return 0;
+    const Json *v = obj->find(key);
+    return v && v->isNumber() ? v->asNumber() : 0;
+}
+
+/** Rank the term moves of two aligned reconciliation-cell sets. */
+BisectResult
+bisectCells(const std::vector<CellRef> &old_cells,
+            const std::vector<CellRef> &new_cells)
+{
+    BisectResult r;
+
+    std::map<std::string, const Json *> old_by_unit;
+    for (const CellRef &c : old_cells)
+        old_by_unit[c.unit] = c.rec;
+
+    std::map<std::string, bool> seen;
+    for (const CellRef &nc : new_cells) {
+        seen[nc.unit] = true;
+        auto it = old_by_unit.find(nc.unit);
+        if (it == old_by_unit.end()) {
+            r.notes.push_back("unit only in the new document: " +
+                              nc.unit);
+            continue;
+        }
+        const Json *orec = it->second;
+        double dactual = numberAt(nc.rec, "actual_cycles") -
+                         numberAt(orec, "actual_cycles");
+        r.totalDelta += dactual;
+
+        const Json *nterms = nc.rec->find("terms");
+        const Json *oterms = orec->find("terms");
+        double explained = 0;
+        if (nterms && nterms->isObject()) {
+            for (const auto &tkv : nterms->items()) {
+                const Json *ot =
+                    oterms && oterms->isObject()
+                        ? oterms->find(tkv.first.c_str())
+                        : nullptr;
+                double dcycles = numberAt(&tkv.second, "cycles") -
+                                 numberAt(ot, "cycles");
+                if (dcycles == 0)
+                    continue;
+                explained += dcycles;
+                BisectFinding f;
+                f.unit = nc.unit;
+                f.eventClass = tkv.first;
+                f.deltaCount = numberAt(&tkv.second, "count") -
+                               numberAt(ot, "count");
+                f.penaltyCycles =
+                    numberAt(&tkv.second, "penalty_cycles");
+                f.delta = dcycles;
+                r.findings.push_back(std::move(f));
+            }
+        }
+        // Anything the terms do not cover (a cycle source without a
+        // counter) surfaces explicitly instead of vanishing.
+        double residual = dactual - explained;
+        if (std::fabs(residual) > 1e-6) {
+            BisectFinding f;
+            f.unit = nc.unit;
+            f.eventClass = "(unattributed)";
+            f.delta = residual;
+            r.findings.push_back(std::move(f));
+        }
+    }
+    for (const CellRef &oc : old_cells)
+        if (!seen.count(oc.unit))
+            r.notes.push_back("unit only in the old document: " +
+                              oc.unit);
+
+    for (BisectFinding &f : r.findings)
+        f.share = r.totalDelta != 0 ? f.delta / r.totalDelta : 0;
+
+    std::sort(r.findings.begin(), r.findings.end(),
+              [](const BisectFinding &a, const BisectFinding &b) {
+                  double da = std::fabs(a.delta);
+                  double db = std::fabs(b.delta);
+                  if (da != db)
+                      return da > db;
+                  if (a.unit != b.unit)
+                      return a.unit < b.unit;
+                  return a.eventClass < b.eventClass;
+              });
+    return r;
+}
+
+} // namespace
+
+Json
+BisectResult::toJson() const
+{
+    Json out = Json::object();
+    out.set("schema_version", Json(1));
+    out.set("generator", Json("aosd_bisect"));
+    out.set("total_delta", Json(totalDelta));
+    Json arr = Json::array();
+    for (const BisectFinding &f : findings) {
+        Json j = Json::object();
+        j.set("unit", Json(f.unit));
+        j.set("event_class", Json(f.eventClass));
+        j.set("delta_count", Json(f.deltaCount));
+        j.set("penalty_cycles", Json(f.penaltyCycles));
+        j.set("delta", Json(f.delta));
+        j.set("share", Json(f.share));
+        arr.push(std::move(j));
+    }
+    out.set("findings", std::move(arr));
+    Json notes_json = Json::array();
+    for (const std::string &n : notes)
+        notes_json.push(Json(n));
+    out.set("notes", std::move(notes_json));
+    return out;
+}
+
+BisectResult
+bisectCountersDocs(const Json &old_doc, const Json &new_doc)
+{
+    std::vector<CellRef> old_cells, new_cells;
+    collectCountersCells(old_doc, old_cells);
+    collectCountersCells(new_doc, new_cells);
+    return bisectCells(old_cells, new_cells);
+}
+
+BisectResult
+bisectKernelWindowDocs(const Json &old_doc, const Json &new_doc)
+{
+    std::vector<CellRef> old_cells, new_cells;
+    collectKernelWindowCells(old_doc, old_cells);
+    collectKernelWindowCells(new_doc, new_cells);
+    return bisectCells(old_cells, new_cells);
+}
+
+BisectResult
+bisectReportDocs(const Json &old_doc, const Json &new_doc)
+{
+    BisectResult r;
+
+    auto collect = [](const Json &doc,
+                      std::map<std::string, double> &out,
+                      std::vector<std::string> &order) {
+        const Json *tables = doc.find("tables");
+        if (!tables || !tables->isObject())
+            return;
+        for (const auto &tkv : tables->items()) {
+            const Json *figs = tkv.second.find("figures");
+            if (!figs || !figs->isArray())
+                continue;
+            for (std::size_t i = 0; i < figs->size(); ++i) {
+                const Json &f = figs->at(i);
+                const Json *id = f.find("id");
+                const Json *sim = f.find("sim");
+                if (!id || !sim || !sim->isNumber())
+                    continue;
+                std::string path = tkv.first + "." + id->asString();
+                if (!out.count(path))
+                    order.push_back(path);
+                out[path] = sim->asNumber();
+            }
+        }
+    };
+
+    std::map<std::string, double> old_figs, new_figs;
+    std::vector<std::string> old_order, new_order;
+    collect(old_doc, old_figs, old_order);
+    collect(new_doc, new_figs, new_order);
+
+    for (const std::string &path : new_order) {
+        auto it = old_figs.find(path);
+        if (it == old_figs.end()) {
+            r.notes.push_back("figure only in the new document: " +
+                              path);
+            continue;
+        }
+        double d = new_figs[path] - it->second;
+        if (std::isnan(d) || d == 0)
+            continue;
+        r.totalDelta += d;
+        BisectFinding f;
+        f.unit = path;
+        f.eventClass = "figure";
+        f.delta = d;
+        r.findings.push_back(std::move(f));
+    }
+    for (const std::string &path : old_order)
+        if (!new_figs.count(path))
+            r.notes.push_back("figure only in the old document: " +
+                              path);
+
+    for (BisectFinding &f : r.findings)
+        f.share = r.totalDelta != 0 ? f.delta / r.totalDelta : 0;
+    std::sort(r.findings.begin(), r.findings.end(),
+              [](const BisectFinding &a, const BisectFinding &b) {
+                  double da = std::fabs(a.delta);
+                  double db = std::fabs(b.delta);
+                  if (da != db)
+                      return da > db;
+                  return a.unit < b.unit;
+              });
+    return r;
+}
+
+BisectResult
+bisectDocs(const Json &old_doc, const Json &new_doc)
+{
+    if (new_doc.find("machines") && old_doc.find("machines"))
+        return bisectCountersDocs(old_doc, new_doc);
+    if (new_doc.find("cells") && old_doc.find("cells"))
+        return bisectKernelWindowDocs(old_doc, new_doc);
+    if (new_doc.find("tables") && old_doc.find("tables"))
+        return bisectReportDocs(old_doc, new_doc);
+    BisectResult r;
+    r.notes.push_back(
+        "unrecognized document pair: expected counters.json "
+        "(machines), kernel-windows (cells) or report.json (tables)");
+    return r;
+}
+
+} // namespace aosd

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Counter-driven regression bisection.
+ *
+ * When the counters or report gate trips, the diff tool names *which
+ * figure* moved; this module names *why*. Given two counters.json
+ * documents (the failing run's actual vs. the checked-in golden), it
+ * diffs every (machine, primitive) cell's reconciliation terms — each
+ * term is an event class already priced with the machine's own penalty
+ * constants by sim/counters/reconcile — ranks the moved cycles, and
+ * reports findings of the form "+40 cold_misses on SPARC
+ * context_switch ~ +520 cycles, 87% of the regression". The same
+ * machinery falls back to figure-level ranking for report.json pairs
+ * (where no term decomposition exists).
+ */
+
+#ifndef AOSD_STUDY_BISECT_HH
+#define AOSD_STUDY_BISECT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace aosd
+{
+
+/** One ranked explanation of moved cycles (or figure value). */
+struct BisectFinding
+{
+    /** Where: "R3000/context_switch" (counters mode) or
+     *  "table1.null_syscall_us.CVAX" (report mode). */
+    std::string unit;
+    /** What moved: a counter name ("cold_misses"), "(unattributed)"
+     *  for a cell's residual, or "figure" in report mode. */
+    std::string eventClass;
+    double deltaCount = 0;   ///< event-count move (counters mode)
+    double penaltyCycles = 0; ///< new document's per-event price
+    double delta = 0;        ///< moved cycles (or figure value)
+    /** delta / total regression; 0 when the total is zero. */
+    double share = 0;
+};
+
+/** The ranked explanation of one document pair. */
+struct BisectResult
+{
+    /** Sum of per-unit actual_cycles moves (counters mode) or of
+     *  figure moves (report mode). */
+    double totalDelta = 0;
+    /** Findings with any movement, largest |delta| first (ties break
+     *  on unit/event name, so output is deterministic). */
+    std::vector<BisectFinding> findings;
+    /** Units present on only one side, schema mismatches, ... */
+    std::vector<std::string> notes;
+
+    /** {"schema_version":1,"total_delta":..,
+     *   "findings":[{"unit":..,"event_class":..,...}],"notes":[..]} */
+    Json toJson() const;
+};
+
+/** Bisect two counters.json documents (aosd_counters --json). */
+BisectResult bisectCountersDocs(const Json &old_doc,
+                                const Json &new_doc);
+
+/** Bisect two kernel-windows documents
+ *  (aosd_counters --kernel-windows --json): same cell/term layout
+ *  under "cells" instead of "machines". */
+BisectResult bisectKernelWindowDocs(const Json &old_doc,
+                                    const Json &new_doc);
+
+/** Rank figure moves between two report.json documents. */
+BisectResult bisectReportDocs(const Json &old_doc,
+                              const Json &new_doc);
+
+/** Dispatch on document shape: "machines" -> counters, "cells" ->
+ *  kernel windows, "tables" -> report. Adds a note and returns an
+ *  empty result for unrecognized documents. */
+BisectResult bisectDocs(const Json &old_doc, const Json &new_doc);
+
+} // namespace aosd
+
+#endif // AOSD_STUDY_BISECT_HH

@@ -4,6 +4,7 @@
 
 #include "arch/machines.hh"
 #include "sim/parallel/parallel_runner.hh"
+#include "workload/os_model.hh"
 
 namespace aosd
 {
@@ -67,6 +68,32 @@ buildCountersDoc(const std::vector<CountedPrimitiveRun> &runs,
     }
     flush();
     doc.set("machines", std::move(machines_json));
+    return doc;
+}
+
+Json
+buildKernelWindowsDoc(const MachineDesc &machine,
+                      ParallelRunner &runner)
+{
+    OsModelConfig config;
+    config.measureKernelWindow = true;
+    std::vector<Table7Row> rows = runMachGrid(machine, runner, config);
+
+    Json doc = Json::object();
+    doc.set("schema_version", 1);
+    doc.set("generator", "aosd_counters --kernel-windows");
+    doc.set("machine", machineSlug(machine.id));
+    Json cells = Json::object();
+    for (const Table7Row &row : rows) {
+        const char *os = row.structure == OsStructure::Monolithic
+                             ? "mach25"
+                             : "mach30";
+        Json cell = Json::object();
+        cell.set("elapsed_seconds", row.elapsedSeconds);
+        cell.set("reconciliation", row.kernelWindow.toJson());
+        cells.set(appSlug(row.app) + "." + os, std::move(cell));
+    }
+    doc.set("cells", std::move(cells));
     return doc;
 }
 

@@ -60,6 +60,28 @@ countAllPrimitives(const std::vector<MachineDesc> &machines,
 Json buildCountersDoc(const std::vector<CountedPrimitiveRun> &runs,
                       unsigned reps);
 
+/**
+ * Kernel-window reconciliation document
+ * (aosd_counters --kernel-windows --json, schema version 1): every
+ * Table 7 (app, OS structure) cell of `machine`'s grid, with counted
+ * kernel events x the machine's primitive costs reconciled against
+ * the cycles SimKernel charged to primitives over the whole run.
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "generator": "aosd_counters --kernel-windows",
+ *     "machine": "<machine>",
+ *     "cells": {
+ *       "<app>.<mach25|mach30>": {
+ *         "elapsed_seconds": s,
+ *         "reconciliation": { ... same shape as counters.json ... }
+ *       }, ...
+ *     }
+ *   }
+ */
+Json buildKernelWindowsDoc(const MachineDesc &machine,
+                           ParallelRunner &runner);
+
 } // namespace aosd
 
 #endif // AOSD_STUDY_COUNTERS_REPORT_HH

@@ -11,8 +11,10 @@
 #include "cpu/primitive_costs.hh"
 #include "os/ipc/lrpc.hh"
 #include "os/ipc/rpc.hh"
+#include "os/kernel/kernel.hh"
 #include "sim/parallel/parallel_runner.hh"
 #include "workload/app_profile.hh"
+#include "workload/os_model.hh"
 
 namespace aosd
 {
@@ -475,6 +477,152 @@ countersFigures(ParallelRunner &runner)
 }
 
 std::vector<Figure>
+kernelWindowFigures()
+{
+    ParallelRunner serial(1);
+    return kernelWindowFigures(serial);
+}
+
+std::vector<Figure>
+kernelWindowFigures(ParallelRunner &runner)
+{
+    // The Table 7 grid again, this time with each cell reconciling
+    // counted kernel events x primitive costs against the cycles the
+    // kernel actually charged to primitives over the whole run.
+    OsModelConfig config;
+    config.measureKernelWindow = true;
+    MachineDesc machine = makeMachine(MachineId::R3000);
+
+    std::vector<Figure> out;
+    for (const Table7Row &r : runMachGrid(machine, runner, config)) {
+        const char *os = r.structure == OsStructure::Monolithic
+                             ? "mach25"
+                             : "mach30";
+        out.push_back(fig("counters",
+                          std::string("kernel_window_explained_pct.") +
+                              r.app + "." + os,
+                          "percent", r.kernelWindow.explainedPct()));
+    }
+    return out;
+}
+
+std::vector<Figure>
+calibrationFigures()
+{
+    ParallelRunner serial(1);
+    return calibrationFigures(serial);
+}
+
+namespace
+{
+
+/** TLB misses taken re-establishing a working set after an
+ *  address-space switch, averaged over an alternating two-space
+ *  scenario (the §3.2 "TLB misses per context switch" rate). */
+double
+tlbMissesPerSwitch(const MachineDesc &machine)
+{
+    constexpr std::uint64_t wsetPages = 16;
+    constexpr unsigned switches = 128;
+
+    SimKernel kernel(machine);
+    AddressSpace &a = kernel.createSpace("calib-a");
+    a.setWorkingSet(0x1000, wsetPages);
+    a.mapRange(0x1000, wsetPages, 0x10000, {});
+    AddressSpace &b = kernel.createSpace("calib-b");
+    b.setWorkingSet(0x3000, wsetPages);
+    b.mapRange(0x3000, wsetPages, 0x20000, {});
+
+    // Warm both working sets so only switch-induced refills remain.
+    kernel.contextSwitchTo(a);
+    kernel.touchWorkingSet();
+    kernel.contextSwitchTo(b);
+    kernel.touchWorkingSet();
+
+    HwCounters &hw = HwCounters::instance();
+    bool was_on = hw.enabled();
+    hw.enable();
+    CounterSet base = hw.snapshot();
+    for (unsigned i = 0; i < switches; ++i) {
+        kernel.contextSwitchTo(i % 2 == 0 ? a : b);
+        kernel.touchWorkingSet();
+    }
+    CounterSet d = hw.snapshot().delta(base);
+    hw.disable();
+    hw.reset();
+    if (was_on)
+        hw.resume();
+    return static_cast<double>(d.get(HwCounter::TlbMisses)) /
+           switches;
+}
+
+} // namespace
+
+std::vector<Figure>
+calibrationFigures(ParallelRunner &runner)
+{
+    const std::vector<MachineDesc> &machines = table1Machines();
+
+    // Every rate is measured in its own counted session, so the cells
+    // fan like the counters grid does.
+    std::vector<std::function<double()>> tasks;
+    for (MachineId m : {MachineId::R2000, MachineId::R3000}) {
+        tasks.push_back([m] {
+            CountedPrimitiveRun r =
+                countPrimitive(makeMachine(m), Primitive::NullSyscall);
+            std::uint64_t stores = r.counters.get(HwCounter::WbStores);
+            return stores ? static_cast<double>(r.counters.get(
+                                HwCounter::WbStalls)) /
+                                static_cast<double>(stores)
+                          : 0.0;
+        });
+        tasks.push_back([m] {
+            CountedPrimitiveRun r =
+                countPrimitive(makeMachine(m), Primitive::NullSyscall);
+            std::uint64_t stores = r.counters.get(HwCounter::WbStores);
+            return stores ? static_cast<double>(r.counters.get(
+                                HwCounter::WbStallCycles)) /
+                                static_cast<double>(stores)
+                          : 0.0;
+        });
+    }
+    for (const MachineDesc &m : machines)
+        tasks.push_back([&m] { return tlbMissesPerSwitch(m); });
+    tasks.push_back([] {
+        constexpr unsigned reps = 16;
+        CountedPrimitiveRun r =
+            countPrimitive(makeMachine(MachineId::SPARC),
+                           Primitive::ContextSwitch, reps);
+        return static_cast<double>(
+                   r.counters.get(HwCounter::WindowsSpilled)) /
+               reps;
+    });
+    std::vector<double> vals = runner.map<double>(tasks);
+
+    std::vector<Figure> out;
+    std::size_t i = 0;
+    for (MachineId m : {MachineId::R2000, MachineId::R3000}) {
+        out.push_back(fig("calibration",
+                          std::string("wb_stalls_per_store.") +
+                              machineSlug(m),
+                          "x", vals[i++]));
+        out.push_back(fig("calibration",
+                          std::string("wb_stall_cycles_per_store.") +
+                              machineSlug(m),
+                          "x", vals[i++]));
+    }
+    for (const MachineDesc &m : machines)
+        out.push_back(fig("calibration",
+                          std::string("tlb_misses_per_context_switch.") +
+                              machineSlug(m.id),
+                          "x", vals[i++]));
+    out.push_back(fig("calibration",
+                      "window_spills_per_context_switch.SPARC", "x",
+                      vals[i++]));
+    return out;
+}
+
+std::vector<Figure>
 allFigures()
 {
     ParallelRunner serial(1);
@@ -495,7 +643,9 @@ allFigures(ParallelRunner &runner)
           static_cast<Builder>(table6Figures),
           static_cast<Builder>(table7Figures),
           static_cast<Builder>(headlineFigures),
-          static_cast<Builder>(countersFigures)}) {
+          static_cast<Builder>(countersFigures),
+          static_cast<Builder>(kernelWindowFigures),
+          static_cast<Builder>(calibrationFigures)}) {
         auto part = fn(runner);
         out.insert(out.end(), part.begin(), part.end());
     }

@@ -103,6 +103,19 @@ std::vector<Figure> headlineFigures(ParallelRunner &runner);
 std::vector<Figure> countersFigures();
 std::vector<Figure> countersFigures(ParallelRunner &runner);
 
+/** Kernel-window reconciliation: percent of each Table 7
+ *  (app, OS structure) cell's charged primitive cycles explained by
+ *  counted kernel events times the machine's primitive costs. */
+std::vector<Figure> kernelWindowFigures();
+std::vector<Figure> kernelWindowFigures(ParallelRunner &runner);
+
+/** Per-machine counter calibration: the §2.3/§3.2 event rates the
+ *  paper argues from — write-buffer stalls per store (DS3100's R2000
+ *  vs DS5000's R3000), TLB misses re-established per context switch,
+ *  SPARC windows spilled per switch — measured from counted runs. */
+std::vector<Figure> calibrationFigures();
+std::vector<Figure> calibrationFigures(ParallelRunner &runner);
+
 /** All of the above, in table order. */
 std::vector<Figure> allFigures();
 std::vector<Figure> allFigures(ParallelRunner &runner);

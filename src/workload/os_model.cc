@@ -111,6 +111,22 @@ MachSystem::run(const AppProfile &app)
     kernel.contextSwitchTo(app_space);
     kernel.resetAccounting();
 
+    // Counter window over the measured run. Only opened when the
+    // config asks for sampling or the kernel-window check, so the
+    // default configuration behaves exactly as before this existed.
+    bool want_counters =
+        cfg.samplingIntervalCycles > 0 || cfg.measureKernelWindow;
+    bool ctrs_were_on = HwCounters::instance().enabled();
+    CounterSet ctr_base;
+    if (want_counters) {
+        HwCounters::instance().enable(); // resets
+        ctr_base = HwCounters::instance().snapshot();
+    }
+    CounterSampler &sampler = CounterSampler::instance();
+    if (cfg.samplingIntervalCycles > 0)
+        sampler.begin({cfg.samplingIntervalCycles,
+                       cfg.samplerCapacity});
+
     bool needs_tas_emulation = !desc.hasAtomicOp;
     Cycles atomic_lock_cost =
         desc.hasAtomicOp
@@ -158,6 +174,9 @@ MachSystem::run(const AppProfile &app)
             else
                 kernel.chargeCycles(atomic_lock_cost);
         }
+
+        sampler.tick(kernel.elapsedCycles(),
+                     static_cast<double>(kernel.primitiveCycles()));
     }
 
     kernel.chargeMicros(app.ioWaitSeconds * 1e6);
@@ -166,13 +185,18 @@ MachSystem::run(const AppProfile &app)
     double elapsed = kernel.elapsedSeconds();
     auto clock_ints = static_cast<std::uint64_t>(
         elapsed * cfg.clockInterruptHz);
-    for (std::uint64_t i = 0; i < clock_ints; ++i)
+    for (std::uint64_t i = 0; i < clock_ints; ++i) {
         kernel.otherException();
+        sampler.tick(kernel.elapsedCycles(),
+                     static_cast<double>(kernel.primitiveCycles()));
+    }
     auto resched = static_cast<std::uint64_t>(
         elapsed * cfg.quantumSwitchesPerSecond / 2.0);
     for (std::uint64_t i = 0; i < resched; ++i) {
         kernel.contextSwitchTo(daemon);
         kernel.contextSwitchTo(app_space);
+        sampler.tick(kernel.elapsedCycles(),
+                     static_cast<double>(kernel.primitiveCycles()));
     }
 
     Table7Row row;
@@ -189,7 +213,51 @@ MachSystem::run(const AppProfile &app)
     row.percentTimeInPrimitives =
         100.0 * static_cast<double>(kernel.primitiveCycles()) /
         static_cast<double>(std::max<Cycles>(kernel.elapsedCycles(), 1));
+
+    if (cfg.samplingIntervalCycles > 0) {
+        sampler.finish(kernel.elapsedCycles(),
+                       static_cast<double>(kernel.primitiveCycles()));
+        row.timeseries = sampler.series();
+    }
+    if (cfg.measureKernelWindow) {
+        CounterSet events =
+            HwCounters::instance().snapshot().delta(ctr_base);
+        row.kernelWindow = reconcileKernelWindow(
+            kernelWindowCosts(desc), events,
+            kernel.primitiveCycles());
+        row.hasKernelWindow = true;
+    }
+    if (want_counters) {
+        HwCounters::instance().disable();
+        HwCounters::instance().reset();
+        if (ctrs_were_on)
+            HwCounters::instance().resume();
+    }
     return row;
+}
+
+std::string
+appSlug(const std::string &name)
+{
+    std::string out;
+    bool pending_sep = false;
+    for (char ch : name) {
+        bool alnum = (ch >= 'a' && ch <= 'z') ||
+                     (ch >= 'A' && ch <= 'Z') ||
+                     (ch >= '0' && ch <= '9');
+        if (!alnum) {
+            pending_sep = !out.empty();
+            continue;
+        }
+        if (pending_sep) {
+            out += '_';
+            pending_sep = false;
+        }
+        out += (ch >= 'A' && ch <= 'Z')
+                   ? static_cast<char>(ch - 'A' + 'a')
+                   : ch;
+    }
+    return out;
 }
 
 Table7Row

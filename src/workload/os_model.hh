@@ -23,6 +23,7 @@
 #include "arch/machine_desc.hh"
 #include "os/kernel/kernel.hh"
 #include "sim/random.hh"
+#include "sim/sampling/sampler.hh"
 #include "workload/app_profile.hh"
 
 namespace aosd
@@ -56,6 +57,13 @@ struct Table7Row
     std::uint64_t otherExceptions = 0;
     /** Percent of elapsed time inside primitive operations. */
     double percentTimeInPrimitives = 0;
+    /** Per-interval event rates over the run (empty unless the config
+     *  set samplingIntervalCycles). */
+    CounterTimeSeries timeseries;
+    /** Kernel-window cycles-explained check (valid when the config
+     *  set measureKernelWindow). */
+    Reconciliation kernelWindow;
+    bool hasKernelWindow = false;
 };
 
 /** Tunables of the system model itself (not per-application). */
@@ -77,6 +85,15 @@ struct OsModelConfig
     std::uint32_t kernelTouchesPerSwitch = 4;
     /** RNG seed (runs are deterministic per seed). */
     std::uint64_t seed = 12345;
+    /** Sample the counter file every this many simulated cycles into
+     *  the row's time series (0 = off; off leaves the run untouched —
+     *  no counter session is opened and no sample is ever taken). */
+    Cycles samplingIntervalCycles = 0;
+    /** Sampler ring capacity (samples kept before dropping oldest). */
+    std::size_t samplerCapacity = 4096;
+    /** Reconcile counted kernel events x primitive costs against the
+     *  kernel's charged primitive cycles over the whole run. */
+    bool measureKernelWindow = false;
 };
 
 /** Executes profiles against one machine + one OS structure. */
@@ -109,6 +126,11 @@ class MachSystem
 /** Paper values for Table 7 (for benches/tests). Returns a row with
  *  zeros when the paper has no such entry. */
 Table7Row paperTable7Row(const std::string &app, OsStructure structure);
+
+/** Dotted-path-safe slug for an app/run name: lower-case, every
+ *  non-alphanumeric run collapsed to one '_' ("parthenon (1 thread)"
+ *  -> "parthenon_1_thread"). */
+std::string appSlug(const std::string &name);
 
 class ParallelRunner;
 

@@ -10,12 +10,25 @@ runRefTrace(const MachineDesc &machine, const RefTraceConfig &cfg)
     Rng rng(cfg.seed);
     RefTraceResult r;
 
+    // The replay's cycle domain: one cycle per reference, plus refill
+    // cycles on misses and purge cycles on untagged-TLB switches.
+    Cycles refill_cycles = 0; // cumulative, the occupancy aux channel
+    bool sampling = cfg.samplingIntervalCycles > 0;
+    bool ctrs_were_on = HwCounters::instance().enabled();
+    if (sampling)
+        HwCounters::instance().enable(); // resets
+    CounterSampler &sampler = CounterSampler::instance();
+    if (sampling)
+        sampler.begin({cfg.samplingIntervalCycles,
+                       cfg.samplerCapacity});
+
     Asid current = 1;
     double switch_prob =
         static_cast<double>(cfg.switchesPerMillion) / 1e6;
 
     auto touch = [&](Vpn vpn, Asid asid, bool system) {
         TlbLookup look = tlb.lookup(vpn, asid, system);
+        r.cycles += 1 + look.missCycles;
         if (system) {
             ++r.systemRefs;
             r.systemMisses += !look.hit;
@@ -23,14 +36,16 @@ runRefTrace(const MachineDesc &machine, const RefTraceConfig &cfg)
             ++r.userRefs;
             r.userMisses += !look.hit;
         }
-        if (!look.hit)
+        if (!look.hit) {
+            refill_cycles += look.missCycles;
             tlb.insert(vpn, asid, vpn, {});
+        }
     };
 
     for (std::uint64_t i = 0; i < cfg.references; ++i) {
         if (rng.chance(switch_prob)) {
             current = 1 + static_cast<Asid>(rng.below(cfg.processes));
-            tlb.switchContext(); // purges when untagged
+            r.cycles += tlb.switchContext(); // purges when untagged
         }
 
         bool system = rng.chance(cfg.systemFraction);
@@ -53,6 +68,18 @@ runRefTrace(const MachineDesc &machine, const RefTraceConfig &cfg)
                 vpn = base + 0x400 + rng.below(cfg.userColdPages);
             touch(vpn, current, false);
         }
+        sampler.tick(r.cycles,
+                     static_cast<double>(refill_cycles));
+    }
+
+    if (sampling) {
+        sampler.finish(r.cycles,
+                       static_cast<double>(refill_cycles));
+        r.timeseries = sampler.series();
+        HwCounters::instance().disable();
+        HwCounters::instance().reset();
+        if (ctrs_were_on)
+            HwCounters::instance().resume();
     }
     return r;
 }

@@ -20,6 +20,7 @@
 #include "arch/machine_desc.hh"
 #include "mem/tlb.hh"
 #include "sim/random.hh"
+#include "sim/sampling/sampler.hh"
 
 namespace aosd
 {
@@ -47,6 +48,11 @@ struct RefTraceConfig
     std::uint32_t switchesPerMillion = 400;
     std::uint32_t processes = 8;
     std::uint64_t seed = 2718281828;
+    /** Sample the counter file every this many simulated cycles into
+     *  the result's time series (0 = off; off leaves the replay
+     *  untouched — no counter session is opened). */
+    Cycles samplingIntervalCycles = 0;
+    std::size_t samplerCapacity = 4096;
 };
 
 /** Outcome of running a trace through a TLB. */
@@ -56,6 +62,11 @@ struct RefTraceResult
     std::uint64_t systemRefs = 0;
     std::uint64_t userMisses = 0;
     std::uint64_t systemMisses = 0;
+    /** Simulated cycles of the replay: one per reference, plus refill
+     *  costs on misses and purge costs on untagged-TLB switches. */
+    Cycles cycles = 0;
+    /** Per-interval event rates (empty unless the config asked). */
+    CounterTimeSeries timeseries;
 
     double
     systemRefShare() const

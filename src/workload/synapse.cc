@@ -1,5 +1,9 @@
 #include "workload/synapse.hh"
 
+#include <algorithm>
+
+#include "sim/counters/counters.hh"
+
 namespace aosd
 {
 
@@ -28,6 +32,56 @@ priceSynapseRun(const MachineDesc &machine, const SynapseRun &run,
         costs.procedureCall * run.procedureCalls);
     r.switchTimeUs = machine.clock.cyclesToMicros(
         costs.userThreadSwitch * run.contextSwitches);
+    return r;
+}
+
+SynapseSimResult
+simulateSynapseRun(const MachineDesc &machine, const SynapseRun &run,
+                   unsigned target_samples, ThreadCostOptions opts)
+{
+    ThreadCosts costs = computeThreadCosts(machine, opts);
+    SynapseSimResult r;
+    r.priced = priceSynapseRun(machine, run, opts);
+
+    Cycles total = costs.procedureCall * run.procedureCalls +
+                   costs.userThreadSwitch * run.contextSwitches;
+    Cycles interval = std::max<Cycles>(
+        1, total / std::max<unsigned>(target_samples, 1));
+
+    bool ctrs_were_on = HwCounters::instance().enabled();
+    HwCounters::instance().enable(); // resets
+    CounterSampler &sampler = CounterSampler::instance();
+    sampler.begin({interval, 4096});
+
+    // Interleave chronologically: spread the calls evenly across the
+    // switch boundaries (integer arithmetic, no rounding drift).
+    Cycles now = 0;
+    std::uint64_t switches = run.contextSwitches;
+    std::uint64_t calls_done = 0;
+    for (std::uint64_t s = 0; s <= switches; ++s) {
+        std::uint64_t calls_target =
+            run.procedureCalls * (s + 1) / (switches + 1);
+        for (; calls_done < calls_target; ++calls_done) {
+            now += costs.procedureCall;
+            r.callCycles += costs.procedureCall;
+            countEvent(HwCounter::ProcedureCalls);
+            sampler.tick(now, static_cast<double>(r.switchCycles));
+        }
+        if (s < switches) {
+            now += costs.userThreadSwitch;
+            r.switchCycles += costs.userThreadSwitch;
+            countEvent(HwCounter::ThreadSwitches);
+            sampler.tick(now, static_cast<double>(r.switchCycles));
+        }
+    }
+    r.totalCycles = now;
+
+    sampler.finish(now, static_cast<double>(r.switchCycles));
+    r.timeseries = sampler.series();
+    HwCounters::instance().disable();
+    HwCounters::instance().reset();
+    if (ctrs_were_on)
+        HwCounters::instance().resume();
     return r;
 }
 

@@ -19,6 +19,7 @@
 
 #include "arch/machine_desc.hh"
 #include "os/threads/thread.hh"
+#include "sim/sampling/sampler.hh"
 
 namespace aosd
 {
@@ -59,6 +60,31 @@ struct SynapseCostResult
 SynapseCostResult priceSynapseRun(const MachineDesc &machine,
                                   const SynapseRun &run,
                                   ThreadCostOptions opts = {});
+
+/** A chronological replay of one Synapse run: the same totals as
+ *  priceSynapseRun, plus a sampled event-rate time series. */
+struct SynapseSimResult
+{
+    SynapseCostResult priced;
+    Cycles callCycles = 0;
+    Cycles switchCycles = 0;
+    Cycles totalCycles = 0;
+    CounterTimeSeries timeseries;
+};
+
+/**
+ * Replay `run` call by call and switch by switch on `machine`'s
+ * simulated thread costs, sampling the counter file ~`target_samples`
+ * times over the run (the interval is computed up front from the
+ * closed-form total, so the series length is machine-independent).
+ * The aux/occupancy channel carries cumulative switch cycles — the
+ * §4.1 "more time switching than calling" verdict, resolved over the
+ * run instead of asserted at the end.
+ */
+SynapseSimResult simulateSynapseRun(const MachineDesc &machine,
+                                    const SynapseRun &run,
+                                    unsigned target_samples = 64,
+                                    ThreadCostOptions opts = {});
 
 } // namespace aosd
 

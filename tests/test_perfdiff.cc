@@ -158,4 +158,55 @@ TEST(PerfDiff, PerturbedGoldenProfileIsFlaggedByPath)
     }
 }
 
+TEST(PerfDiff, TimeseriesArraysDiffElementWise)
+{
+    // The timeseries.json shape: parallel per-sample arrays. A single
+    // moved sample must be named with its element index in the path;
+    // equal-length identical arrays must diff clean.
+    Json old_doc = parse(R"({
+        "table7": {"cells": {"spellcheck_1.mach25": {"timeseries": {
+            "cycles": [100, 200, 300],
+            "series": {"tlb_misses_per_kcycle": [4.0, 5.0, 6.0]}
+        }}}}
+    })");
+    Json new_doc = parse(R"({
+        "table7": {"cells": {"spellcheck_1.mach25": {"timeseries": {
+            "cycles": [100, 200, 300],
+            "series": {"tlb_misses_per_kcycle": [4.0, 9.0, 6.0]}
+        }}}}
+    })");
+
+    PerfDiff clean = diffPerfDocs(old_doc, old_doc, 0.01);
+    EXPECT_TRUE(clean.ok());
+    EXPECT_EQ(clean.compared, 6u);
+
+    PerfDiff diff = diffPerfDocs(old_doc, new_doc, 0.01);
+    EXPECT_FALSE(diff.ok());
+    EXPECT_EQ(diff.regressions, 1u);
+    bool named = false;
+    for (const PerfDelta &d : diff.deltas)
+        if (d.kind == PerfDelta::Kind::Changed) {
+            EXPECT_EQ(d.path,
+                      "table7.cells.spellcheck_1.mach25.timeseries."
+                      "series.tlb_misses_per_kcycle.1");
+            EXPECT_DOUBLE_EQ(d.newValue, 9.0);
+            named = true;
+        }
+    EXPECT_TRUE(named);
+}
+
+TEST(PerfDiff, ShorterArrayReportsMissingTailElements)
+{
+    Json old_doc = parse(R"({"rates": [1.0, 2.0, 3.0]})");
+    Json new_doc = parse(R"({"rates": [1.0, 2.0]})");
+    PerfDiff diff = diffPerfDocs(old_doc, new_doc, 0.01);
+    EXPECT_FALSE(diff.ok());
+    bool missing_tail = false;
+    for (const PerfDelta &d : diff.deltas)
+        if (d.kind == PerfDelta::Kind::Missing &&
+            d.path == "rates.2")
+            missing_tail = true;
+    EXPECT_TRUE(missing_tail);
+}
+
 } // namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * aosd_bisect: explain a performance regression in event terms.
+ *
+ *   aosd_bisect old.json new.json            # ranked explanation
+ *   aosd_bisect --top 5 old.json new.json    # only the 5 biggest
+ *   aosd_bisect --json out.json old.json new.json
+ *
+ * Both inputs must be the same kind of document:
+ *   - counters.json pairs (aosd_counters --json): every
+ *     (machine, primitive) cell's reconciliation terms are diffed, so
+ *     each moved event class arrives pre-priced with the machine's own
+ *     penalty constants — "+40 cold_misses on sparc/context_switch
+ *     ~ +520.0 cycles (87.0% of the regression)".
+ *   - kernel-windows pairs (aosd_counters --kernel-windows --json):
+ *     same term-level story for the SimKernel workload windows.
+ *   - report.json pairs (aosd_report --json): no term decomposition
+ *     exists, so the ranking is per-figure.
+ *
+ * This is an explainer, not a gate: exit 0 whether or not anything
+ * moved (2 on usage or I/O error). CI runs it automatically when the
+ * counters or report diff gate fails.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/json.hh"
+#include "study/bisect.hh"
+
+using namespace aosd;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--top N] [--json path] old.json new.json\n"
+        "  --top N      print at most N findings (default 10,\n"
+        "               0 = all)\n"
+        "  --json path  also write the full ranked explanation as "
+        "JSON\n"
+        "accepts counters.json, kernel-windows or report.json pairs\n",
+        argv0);
+}
+
+bool
+loadJson(const char *path, Json &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    out = Json::parse(buf.str(), &error);
+    if (out.isNull() && !error.empty()) {
+        std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+        return false;
+    }
+    return true;
+}
+
+const char *
+docMode(const Json &doc)
+{
+    if (doc.find("machines"))
+        return "counters";
+    if (doc.find("cells"))
+        return "kernel-windows";
+    if (doc.find("tables"))
+        return "report";
+    return "unknown";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t top = 10;
+    std::string json_path;
+    const char *old_path = nullptr;
+    const char *new_path = nullptr;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--top") {
+            top = static_cast<std::size_t>(std::atoi(value()));
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!old_path) {
+            old_path = argv[i];
+        } else if (!new_path) {
+            new_path = argv[i];
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (!old_path || !new_path) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    Json old_doc, new_doc;
+    if (!loadJson(old_path, old_doc) || !loadJson(new_path, new_doc))
+        return 2;
+
+    BisectResult r = bisectDocs(old_doc, new_doc);
+    const char *mode = docMode(new_doc);
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         json_path.c_str());
+            return 2;
+        }
+        out << r.toJson().dump(1);
+    }
+
+    std::printf("aosd_bisect (%s): total move %+.1f cycles, "
+                "%zu finding(s)\n",
+                mode, r.totalDelta, r.findings.size());
+    if (r.findings.empty())
+        std::printf("  nothing moved between the two documents\n");
+
+    std::size_t shown = 0;
+    for (const BisectFinding &f : r.findings) {
+        if (top != 0 && shown == top) {
+            std::printf("  ... %zu more finding(s); rerun with "
+                        "--top 0 for all\n",
+                        r.findings.size() - shown);
+            break;
+        }
+        ++shown;
+        if (f.eventClass == "figure") {
+            std::printf(" %2zu. %s moved %+g (%.1f%% of the total "
+                        "move)\n",
+                        shown, f.unit.c_str(), f.delta,
+                        100.0 * f.share);
+        } else if (f.eventClass == "(unattributed)") {
+            std::printf(" %2zu. %+.1f unattributed cycles on %s "
+                        "(%.1f%% of the regression)\n",
+                        shown, f.delta, f.unit.c_str(),
+                        100.0 * f.share);
+        } else {
+            std::printf(" %2zu. %+g %s on %s ~ %+.1f cycles "
+                        "(%.1f%% of the regression)\n",
+                        shown, f.deltaCount, f.eventClass.c_str(),
+                        f.unit.c_str(), f.delta, 100.0 * f.share);
+        }
+    }
+    for (const std::string &n : r.notes)
+        std::printf("  note: %s\n", n.c_str());
+    return 0;
+}

@@ -9,6 +9,8 @@
  *   aosd_counters --machines R2000,SPARC # subset of Table 1
  *   aosd_counters --min-explained 95     # gate (percent)
  *   aosd_counters --jobs 8               # parallel counting grid
+ *   aosd_counters --kernel-windows       # reconcile whole SimKernel
+ *                                        # workload windows instead
  *
  * Every machine x primitive handler runs under the hardware-counter
  * subsystem; event counts times the machine's modeled penalties must
@@ -17,10 +19,17 @@
  * [min, 200-min] percent (the default gate is 95%: under-explaining
  * means an uncounted event source, over-explaining a double count).
  *
+ * --kernel-windows runs the same cross-check over whole Table 7
+ * workload windows: counted kernel events x the machine's primitive
+ * costs vs. the cycles SimKernel charged to primitives across each
+ * (app, OS structure) run, gated by the same --min-explained band.
+ * One machine per invocation (--machines picks it; default R3000).
+ *
  * The counters.json schema is documented in
  * src/study/counters_report.hh and docs/EXPERIMENTS.md.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -50,7 +59,9 @@ usage(const char *argv0)
         "  --min-explained P   fail below P%% explained (default 95)\n"
         "  --jobs N            worker threads (default: all cores;\n"
         "                      1 = serial; output is identical either "
-        "way)\n",
+        "way)\n"
+        "  --kernel-windows    reconcile Table 7 workload windows\n"
+        "                      (one machine; default R3000)\n",
         argv0);
 }
 
@@ -76,6 +87,7 @@ main(int argc, char **argv)
     unsigned reps = 16;
     unsigned jobs = ParallelRunner::defaultJobs();
     double min_explained = 95.0;
+    bool kernel_windows = false;
     std::vector<MachineDesc> machines;
 
     for (int i = 1; i < argc; ++i) {
@@ -95,6 +107,8 @@ main(int argc, char **argv)
                 reps = 1;
         } else if (arg == "--min-explained") {
             min_explained = std::atof(value());
+        } else if (arg == "--kernel-windows") {
+            kernel_windows = true;
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(std::atoi(value()));
             if (jobs == 0)
@@ -120,10 +134,54 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    ParallelRunner runner(jobs);
+
+    if (kernel_windows) {
+        MachineDesc machine =
+            machines.empty() ? makeMachine(MachineId::R3000)
+                             : machines.front();
+        Json doc = buildKernelWindowsDoc(machine, runner);
+        double tol = 100.0 - min_explained;
+        int window_failures = 0;
+        for (const auto &kv : doc.at("cells").items()) {
+            const Json &rec = kv.second.at("reconciliation");
+            double pct = rec.at("explained_pct").asNumber();
+            double cycles = rec.at("actual_cycles").asNumber();
+            bool ok = std::fabs(pct - 100.0) <= tol;
+            if (!ok) {
+                ++window_failures;
+                std::fprintf(stderr,
+                             "KERNEL WINDOW FAILED %s/%s: %.2f%% of "
+                             "%.0f primitive cycles explained "
+                             "(gate %.0f%%)\n",
+                             machineSlug(machine.id), kv.first.c_str(),
+                             pct, cycles, min_explained);
+            }
+            if (json_path.empty())
+                std::printf("%s / %s: %.0f primitive cycles, %.2f%% "
+                            "explained%s\n",
+                            machineSlug(machine.id), kv.first.c_str(),
+                            cycles, pct, ok ? "" : "  <-- FAILED");
+        }
+        if (!json_path.empty()) {
+            if (!writeFile(json_path, doc.dump(1)))
+                return 2;
+            std::fprintf(stderr, "kernel windows -> %s\n",
+                         json_path.c_str());
+        }
+        if (window_failures) {
+            std::fprintf(stderr,
+                         "%d workload window(s) outside the %.0f%% "
+                         "explained band\n",
+                         window_failures, min_explained);
+            return 1;
+        }
+        return 0;
+    }
+
     if (machines.empty())
         machines = table1Machines();
 
-    ParallelRunner runner(jobs);
     std::vector<CountedPrimitiveRun> runs =
         countAllPrimitives(machines, reps, runner);
 

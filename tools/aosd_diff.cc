@@ -6,12 +6,15 @@
  *   aosd_diff --tol 0.05 old.json new.json # 5% relative tolerance
  *   aosd_diff --abs 0.5 old.json new.json  # ignore tiny absolute moves
  *   aosd_diff --all old.json new.json      # also list unchanged paths
+ *   aosd_diff --top 20 old.json new.json   # cap printed regressions
  *
  * Works on any JSON document whose leaves are numbers — profile.json
- * from aosd_profile, report.json from aosd_report, BENCH_simperf.json
- * from google-benchmark. Both documents are flattened to stable
- * dotted paths; any pair differing beyond tolerance, and any path
- * present on only one side, is a regression.
+ * from aosd_profile, report.json from aosd_report, timeseries.json
+ * (array leaves get their element index in the dotted path, so one
+ * moved sample names itself), BENCH_simperf.json from
+ * google-benchmark. Both documents are flattened to stable dotted
+ * paths; any pair differing beyond tolerance, and any path present on
+ * only one side, is a regression.
  *
  * Exit status: 0 all within tolerance, 1 regressions (each named on
  * stdout), 2 usage or I/O error.
@@ -36,11 +39,14 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--tol REL] [--abs ABS] [--all] old.json new.json\n"
+        "usage: %s [--tol REL] [--abs ABS] [--all] [--top N] "
+        "old.json new.json\n"
         "  --tol REL  relative tolerance (default 0.01 = 1%%)\n"
         "  --abs ABS  absolute slack for near-zero values "
         "(default 1e-9)\n"
-        "  --all      also print paths within tolerance\n",
+        "  --all      also print paths within tolerance\n"
+        "  --top N    print at most N regressions (0 = all, the "
+        "default)\n",
         argv0);
 }
 
@@ -71,6 +77,7 @@ main(int argc, char **argv)
     double rel_tol = 0.01;
     double abs_tol = 1e-9;
     bool show_all = false;
+    std::size_t top = 0;
     const char *old_path = nullptr;
     const char *new_path = nullptr;
 
@@ -89,6 +96,8 @@ main(int argc, char **argv)
             abs_tol = std::atof(value());
         } else if (arg == "--all") {
             show_all = true;
+        } else if (arg == "--top") {
+            top = static_cast<std::size_t>(std::atoi(value()));
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -112,7 +121,16 @@ main(int argc, char **argv)
 
     PerfDiff diff = diffPerfDocs(old_doc, new_doc, rel_tol, abs_tol);
 
+    std::size_t printed = 0;
+    std::size_t suppressed = 0;
     for (const PerfDelta &d : diff.deltas) {
+        if (top != 0 && d.kind != PerfDelta::Kind::Within &&
+            printed == top) {
+            ++suppressed;
+            continue;
+        }
+        if (d.kind != PerfDelta::Kind::Within)
+            ++printed;
         switch (d.kind) {
           case PerfDelta::Kind::Changed:
             std::printf("REGRESSION %s: %g -> %g (%+.2f%%)\n",
@@ -137,6 +155,10 @@ main(int argc, char **argv)
         }
     }
 
+    if (suppressed)
+        std::printf("... %zu more regression(s) suppressed by "
+                    "--top %zu\n",
+                    suppressed, top);
     std::printf("%zu path(s) compared, %zu regression(s) "
                 "(rel tol %g, abs tol %g)\n",
                 diff.compared, diff.regressions, rel_tol, abs_tol);

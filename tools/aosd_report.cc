@@ -11,6 +11,10 @@
  *   aosd_report --stats stats.json   # also snapshot every StatGroup
  *   aosd_report --jobs 8             # fan the figure grid over 8
  *                                    # worker threads
+ *   aosd_report --timeseries timeseries.json
+ *                                    # also sample the long-running
+ *                                    # workloads into per-interval
+ *                                    # event-rate series
  *
  * The report covers Tables 1-7 plus the paper's headline prose
  * figures; every entry carries the simulated value, the paper's value
@@ -36,6 +40,7 @@
 #include "sim/trace.hh"
 #include "study/figures.hh"
 #include "study/report.hh"
+#include "study/timeseries_report.hh"
 
 using namespace aosd;
 
@@ -48,11 +53,14 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--json [path]] [--trace path] [--stats path]\n"
-        "          [--jobs N]\n"
+        "          [--timeseries path] [--jobs N]\n"
         "  --json [path]  write report.json (stdout when no path)\n"
         "  --trace path   write a chrome://tracing timeline\n"
         "                 (forces --jobs 1)\n"
         "  --stats path   write a StatRegistry snapshot\n"
+        "  --timeseries path\n"
+        "                 sample the workloads and write\n"
+        "                 timeseries.json (per-interval event rates)\n"
         "  --jobs N       worker threads (default: all cores;\n"
         "                 1 = serial; report is identical either "
         "way)\n",
@@ -117,6 +125,7 @@ main(int argc, char **argv)
     std::string json_path;
     std::string trace_path;
     std::string stats_path;
+    std::string timeseries_path;
     unsigned jobs = ParallelRunner::defaultJobs();
 
     for (int i = 1; i < argc; ++i) {
@@ -138,6 +147,9 @@ main(int argc, char **argv)
                 return 2;
         } else if (arg == "--stats") {
             if (!takesValue(stats_path))
+                return 2;
+        } else if (arg == "--timeseries") {
+            if (!takesValue(timeseries_path))
                 return 2;
         } else if (arg == "--jobs") {
             std::string jobs_arg;
@@ -171,6 +183,14 @@ main(int argc, char **argv)
     if (!stats_path.empty())
         runner.setCollectStats(true);
     Json report = buildReport(runner);
+
+    if (!timeseries_path.empty()) {
+        Json ts = buildTimeseriesDoc(runner);
+        if (!writeFile(timeseries_path, ts.dump(1)))
+            return 1;
+        std::fprintf(stderr, "timeseries -> %s\n",
+                     timeseries_path.c_str());
+    }
 
     if (!trace_path.empty()) {
         Tracer::instance().disable();
