@@ -30,7 +30,11 @@ countPrimitive(const MachineDesc &machine, Primitive prim,
     run.primitive = prim;
     run.repetitions = reps;
 
-    const HandlerProgram &program = cachedHandler(machine, prim);
+    // Warm the handler (and, on the fast path, decoded) caches before
+    // opening the counter window; runPrimitive dispatches to the
+    // pre-decoded superblock or the interpreter, with identical
+    // counter bumps either way (tests/test_predecode.cc).
+    cachedHandler(machine, prim);
     ExecModel exec(machine);
 
     HwCounters &ctrs = HwCounters::instance();
@@ -38,7 +42,7 @@ countPrimitive(const MachineDesc &machine, Primitive prim,
     ctrs.enable(); // resets
     CounterSet start = ctrs.snapshot();
     for (unsigned i = 0; i < reps; ++i)
-        run.totalCycles += exec.run(program).cycles;
+        run.totalCycles += exec.runPrimitive(prim).cycles;
     run.counters = ctrs.snapshot().delta(start);
     ctrs.disable();
     ctrs.reset();

@@ -737,6 +737,56 @@ sparcWindowRestoreSeq(const MachineDesc &machine)
     return sparcRestoreSeqImpl();
 }
 
+InstrStream
+tlbRefillSeq(const MachineDesc &machine, bool kernel_space)
+{
+    if (machine.tlb.management != TlbManagement::Software)
+        panic("%s has a hardware-managed TLB",
+              machine.name.c_str());
+    const Cycles target = kernel_space
+                              ? machine.tlb.swKernelMissCycles
+                              : machine.tlb.swUserMissCycles;
+    const Cycles bracket = machine.timing.trapEnterCycles +
+                           machine.timing.trapReturnCycles;
+    const Cycles tlbw = machine.tlb.writeEntryCycles;
+    const Cycles ctrl = machine.timing.ctrlRegCycles;
+
+    InstrStream s;
+    if (target < bracket + tlbw) {
+        // Too small to decompose (a near-hardware mini-vector):
+        // model the whole refill as one sequenced operation.
+        if (target > 0)
+            s.microcoded(static_cast<std::uint32_t>(target));
+        return s;
+    }
+
+    // Trap in; read the fault state (BadVAddr/Context-style
+    // registers); compute the PTE address; for the long common
+    // vector, the page-table walk and bookkeeping beyond the
+    // stylized ALU run is sequenced as one microcoded residue;
+    // write the entry; trap out. Cycle total == `target` exactly.
+    Cycles budget = target - bracket - tlbw;
+    std::uint32_t ctrl_reads =
+        ctrl > 0 ? std::min<std::uint32_t>(
+                       2, static_cast<std::uint32_t>(budget / ctrl))
+                 : 0;
+    budget -= ctrl_reads * ctrl;
+    std::uint32_t alu_ops = std::min<Cycles>(
+        budget, kernel_space ? 64 : 8);
+    budget -= alu_ops;
+
+    s.trapEnter(/*counts_as_instr=*/false);
+    if (ctrl_reads)
+        s.ctrlRead(ctrl_reads);
+    if (alu_ops)
+        s.alu(alu_ops);
+    if (budget > 0)
+        s.microcoded(static_cast<std::uint32_t>(budget));
+    s.tlbWrite();
+    s.trapReturn();
+    return s;
+}
+
 HandlerProgram
 buildHandler(const MachineDesc &machine, Primitive prim)
 {

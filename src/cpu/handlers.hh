@@ -48,6 +48,18 @@ InstrStream sparcWindowSaveSeq(const MachineDesc &machine);
  *  window memory was last touched by write-no-allocate stores). */
 InstrStream sparcWindowRestoreSeq(const MachineDesc &machine);
 
+/**
+ * Software TLB-refill handler for a software-managed TLB (s3.2/s5:
+ * the MIPS utlbmiss fast vector vs the few-hundred-cycle common
+ * kernel path). The stream is built from stateless ops (trap
+ * bracket, control-register reads, the TLB entry write, ALU address
+ * arithmetic, microcoded residue) so its cycle total is a constant
+ * equal to the machine's swUserMissCycles / swKernelMissCycles —
+ * the predecode-off kernel re-interprets it per miss, the fast path
+ * charges the constant. Panics on a hardware-managed TLB.
+ */
+InstrStream tlbRefillSeq(const MachineDesc &machine, bool kernel_space);
+
 } // namespace aosd
 
 #endif // AOSD_CPU_HANDLERS_HH

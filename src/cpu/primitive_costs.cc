@@ -1,7 +1,6 @@
 #include "cpu/primitive_costs.hh"
 
 #include "arch/machines.hh"
-#include "cpu/handlers.hh"
 #include "sim/logging.hh"
 #include "sim/profile/profile.hh"
 
@@ -18,11 +17,12 @@ PrimitiveCostDb::PrimitiveCostDb()
         machines.emplace(m.id, m);
         ExecModel exec(m);
         for (Primitive p : allPrimitives) {
-            const HandlerProgram &prog = cachedHandler(m, p);
             PrimitiveCost c;
             c.machine = m.id;
             c.primitive = p;
-            c.detail = exec.run(prog);
+            // Decoded fast path when enabled, interpreter otherwise;
+            // the cached detail is identical either way.
+            c.detail = exec.runPrimitive(p);
             c.cycles = c.detail.cycles;
             c.instructions = c.detail.instructions;
             c.micros = m.clock.cyclesToMicros(c.cycles);

@@ -24,13 +24,16 @@ profilePrimitive(const MachineDesc &machine, Primitive prim,
     run.primitive = prim;
     run.repetitions = reps;
 
-    const HandlerProgram &program = cachedHandler(machine, prim);
+    // Warm the handler cache outside the profile window; runPrimitive
+    // then attributes through the pre-decoded phase summaries or the
+    // interpreter, identically (tests/test_predecode.cc).
+    cachedHandler(machine, prim);
     ExecModel exec(machine);
 
     Profiler &prof = Profiler::instance();
     prof.enable();
     for (unsigned i = 0; i < reps; ++i)
-        run.totalCycles += exec.run(program).cycles;
+        run.totalCycles += exec.runPrimitive(prim).cycles;
     prof.disable();
 
     run.attributedCycles = prof.attributedCycles();

@@ -13,6 +13,7 @@ void
 AddressSpace::mapRange(Vpn vpn, std::uint64_t count, Pfn pfn,
                        PageProt prot)
 {
+    walkCache.clear();
     for (std::uint64_t i = 0; i < count; ++i) {
         Pte pte;
         pte.pfn = pfn + i;
@@ -24,8 +25,53 @@ AddressSpace::mapRange(Vpn vpn, std::uint64_t count, Pfn pfn,
 void
 AddressSpace::unmapRange(Vpn vpn, std::uint64_t count)
 {
+    walkCache.clear();
     for (std::uint64_t i = 0; i < count; ++i)
         table->unmap(vpn + i);
+}
+
+const Pte *
+AddressSpace::translateSlow(Vpn vpn)
+{
+    // Grow at half full (counting both mapped and unmapped memos) so
+    // the inline probe stays short; rehash is a rebuild because
+    // clear() leaves no tombstones to worry about.
+    std::size_t used = 0;
+    for (const CachedWalk &c : walkCache)
+        used += c.state != CachedWalk::Empty;
+    if (walkCache.empty() || 2 * (used + 1) > walkCache.size()) {
+        std::size_t cap =
+            walkCache.empty() ? 256 : 2 * walkCache.size();
+        std::vector<CachedWalk> bigger(cap);
+        std::uint32_t mask = static_cast<std::uint32_t>(cap) - 1;
+        for (const CachedWalk &c : walkCache) {
+            if (c.state == CachedWalk::Empty)
+                continue;
+            std::uint32_t i = hashVpn(c.vpn) & mask;
+            while (bigger[i].state != CachedWalk::Empty)
+                i = (i + 1) & mask;
+            bigger[i] = c;
+        }
+        walkCache.swap(bigger);
+    }
+
+    WalkResult w = table->walk(vpn);
+    CachedWalk memo;
+    memo.vpn = vpn;
+    if (w.pte) {
+        memo.pte = *w.pte;
+        memo.state = CachedWalk::Mapped;
+    } else {
+        memo.state = CachedWalk::Unmapped;
+    }
+    std::uint32_t mask =
+        static_cast<std::uint32_t>(walkCache.size()) - 1;
+    std::uint32_t i = hashVpn(vpn) & mask;
+    while (walkCache[i].state != CachedWalk::Empty)
+        i = (i + 1) & mask;
+    walkCache[i] = memo;
+    return memo.state == CachedWalk::Mapped ? &walkCache[i].pte
+                                            : nullptr;
 }
 
 void

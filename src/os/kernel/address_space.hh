@@ -30,7 +30,14 @@ class AddressSpace
     const std::string &name() const { return spaceName; }
     Asid asid() const { return spaceAsid; }
 
-    PageTable &pageTable() { return *table; }
+    /** Mutable table access drops the walk memo (the caller may be
+     *  about to change mappings — vm_manager maps through this). */
+    PageTable &
+    pageTable()
+    {
+        walkCache.clear();
+        return *table;
+    }
     const PageTable &pageTable() const { return *table; }
 
     /** Map `count` pages starting at vpn to frames starting at pfn. */
@@ -38,6 +45,34 @@ class AddressSpace
 
     /** Unmap `count` pages starting at vpn. */
     void unmapRange(Vpn vpn, std::uint64_t count);
+
+    /**
+     * pageTable().walk(vpn).pte, memoized. A walk is a pure function
+     * of the current mappings, and the kernel's TLB-refill loop
+     * re-walks the same working-set pages millions of times per
+     * Table 7 cell, so the structural walk runs once per (space,
+     * page) and every later refill takes the probe below. Any
+     * mapping change (mapRange/unmapRange/mutable pageTable())
+     * empties the memo. Returns nullptr for an unmapped page
+     * (negative results are memoized too).
+     */
+    const Pte *
+    translate(Vpn vpn)
+    {
+        if (!walkCache.empty()) {
+            std::uint32_t mask =
+                static_cast<std::uint32_t>(walkCache.size()) - 1;
+            for (std::uint32_t i = hashVpn(vpn) & mask;
+                 walkCache[i].state != CachedWalk::Empty;
+                 i = (i + 1) & mask) {
+                if (walkCache[i].vpn == vpn)
+                    return walkCache[i].state == CachedWalk::Mapped
+                               ? &walkCache[i].pte
+                               : nullptr;
+            }
+        }
+        return translateSlow(vpn);
+    }
 
     /**
      * The pages this space touches between reschedules — the working
@@ -52,10 +87,31 @@ class AddressSpace
     void setWorkingSet(Vpn base, std::uint64_t pages);
 
   private:
+    /** One memoized walk; open-addressed on vpn, ≤50% load. */
+    struct CachedWalk
+    {
+        enum State : std::uint8_t { Empty, Mapped, Unmapped };
+        Vpn vpn = 0;
+        Pte pte;
+        State state = Empty;
+    };
+
+    static std::uint32_t
+    hashVpn(Vpn vpn)
+    {
+        std::uint64_t h = vpn * 0x9E3779B97F4A7C15ull;
+        return static_cast<std::uint32_t>(h >> 32);
+    }
+
+    /** Walk the real table, memoize, return. Grows/rehashes the memo
+     *  when it passes half full. */
+    const Pte *translateSlow(Vpn vpn);
+
     std::string spaceName;
     Asid spaceAsid;
     std::unique_ptr<PageTable> table;
     std::vector<Vpn> wset;
+    std::vector<CachedWalk> walkCache;
 };
 
 } // namespace aosd

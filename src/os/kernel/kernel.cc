@@ -1,6 +1,8 @@
 #include "os/kernel/kernel.hh"
 
+#include "cpu/decoded_program.hh"
 #include "cpu/exec_model.hh"
+#include "cpu/handlers.hh"
 #include "sim/counters/counters.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -25,9 +27,34 @@ kernelWindowCosts(const MachineDesc &machine)
 }
 
 SimKernel::SimKernel(const MachineDesc &machine)
-    : desc(machine), costs(sharedCostDb()), tlbModel(machine.tlb),
-      cacheModel(machine.cache)
+    : desc(machine), costs(sharedCostDb()), refExec(machine),
+      tlbModel(machine.tlb), cacheModel(machine.cache)
 {
+    for (Primitive p : allPrimitives)
+        primCost[static_cast<std::size_t>(p)] = &costs.cost(desc.id, p);
+    statSyscalls = &counters.handle(kstat::syscalls);
+    statTraps = &counters.handle(kstat::traps);
+    statAddrSpaceSwitches = &counters.handle(kstat::addrSpaceSwitches);
+    statThreadSwitches = &counters.handle(kstat::threadSwitches);
+    statEmulatedInstrs = &counters.handle(kstat::emulatedInstrs);
+    statKernelTlbMisses = &counters.handle(kstat::kernelTlbMisses);
+    statUserTlbMisses = &counters.handle(kstat::userTlbMisses);
+    statOtherExceptions = &counters.handle(kstat::otherExceptions);
+    statPteChanges = &counters.handle(kstat::pteChanges);
+    tasSeq.trapEnter(/*counts_as_instr=*/false)
+        .microcoded(emulatedTasSequenceCycles)
+        .trapReturn();
+    // No memory ops, so the whole fast-trap sequence decodes to one
+    // constant: trap entry + return hardware plus the t&s microcode.
+    tasCycles = decodeStream(desc, tasSeq).tailCycles;
+    if (desc.tlb.management == TlbManagement::Software) {
+        swRefillUserSeq = tlbRefillSeq(desc, false);
+        swRefillKernelSeq = tlbRefillSeq(desc, true);
+        hasSwRefill = true;
+    }
+    // One ALU op per cycle of per-instruction emulation work, so the
+    // stream's interpreted total equals n * emulatedInstrCycles.
+    emulStepSeq.alu(emulatedInstrCycles);
     // Space 0 is the kernel itself; its working set models the mapped
     // kernel data (page tables and the like) that still needs TLB
     // entries even when kernel *code* runs unmapped (s5).
@@ -63,52 +90,69 @@ SimKernel::currentSpace()
 void
 SimKernel::chargePrimitive(Primitive p)
 {
+    const PrimitiveCost &pc = *primCost[static_cast<std::size_t>(p)];
+    if (!predecodeEnabled() && !tracerEnabled()) {
+        // Reference mode: re-interpret the handler program op by op
+        // for every kernel event instead of charging the cached
+        // superblock totals. The execution is deterministic (the
+        // buffer resets per run), so the cycles and the profiler's
+        // phase attribution equal the cached path's exactly; its
+        // micro-event counter bumps are already folded into the
+        // cached cost constants, so they must not leak into the
+        // enclosing workload window's counters.
+        CounterPause pause;
+        ExecResult r = refExec.run(cachedHandler(desc, p));
+        cycleCount += r.cycles;
+        primCycles += r.cycles;
+        return;
+    }
     // Attribute the cached handler simulation phase by phase, so a
     // kernel-level profile bottoms out in the same hardware causes
     // (trap_hardware, write_buffer_stall, ...) the exec model charged.
-    if (Profiler::instance().enabled()) {
-        const ExecResult &detail = costs.cost(desc.id, p).detail;
-        for (const PhaseResult &ph : detail.phases) {
+    if (profilerEnabled()) {
+        for (const PhaseResult &ph : pc.detail.phases) {
             ProfScope scope(phaseSlug(ph.kind));
             profileBreakdown(ph.breakdown);
         }
     }
-    Cycles c = costs.cycles(desc.id, p);
-    cycleCount += c;
-    primCycles += c;
+    cycleCount += pc.cycles;
+    primCycles += pc.cycles;
 }
 
 void
 SimKernel::syscall()
 {
     ProfScope prof("syscall");
-    counters.inc(kstat::syscalls);
+    ++*statSyscalls;
     countEvent(HwCounter::KernelSyscalls);
     Cycles start = cycleCount;
     chargePrimitive(Primitive::NullSyscall);
-    Tracer::instance().complete(start, cycleCount - start,
-                                TraceEvent::Syscall, "syscall");
+    if (tracerEnabled())
+        Tracer::instance().complete(start, cycleCount - start,
+                                    TraceEvent::Syscall, "syscall");
 }
 
 void
 SimKernel::trap()
 {
     ProfScope prof("trap");
-    counters.inc(kstat::traps);
+    ++*statTraps;
     countEvent(HwCounter::KernelTraps);
     Cycles start = cycleCount;
-    Tracer::instance().recordAt(start, TraceEvent::TrapEnter,
-                                TracePhase::Begin, "trap");
+    if (tracerEnabled())
+        Tracer::instance().recordAt(start, TraceEvent::TrapEnter,
+                                    TracePhase::Begin, "trap");
     chargePrimitive(Primitive::Trap);
-    Tracer::instance().recordAt(cycleCount, TraceEvent::TrapExit,
-                                TracePhase::End, "trap");
+    if (tracerEnabled())
+        Tracer::instance().recordAt(cycleCount, TraceEvent::TrapExit,
+                                    TracePhase::End, "trap");
 }
 
 void
 SimKernel::pteChange(AddressSpace &space, Vpn vpn, PageProt prot)
 {
     ProfScope prof("pte_change");
-    counters.inc(kstat::pteChanges);
+    ++*statPteChanges;
     countEvent(HwCounter::PteChanges);
     chargePrimitive(Primitive::PteChange);
     space.pageTable().protect(vpn, prot);
@@ -127,13 +171,16 @@ SimKernel::contextSwitchTo(AddressSpace &target)
     if (&target == &from)
         return;
     ProfScope prof("context_switch");
-    counters.inc(kstat::addrSpaceSwitches);
+    ++*statAddrSpaceSwitches;
     countEvent(HwCounter::ContextSwitches);
     // An address-space switch implies a thread switch (Table 7 note).
-    counters.inc(kstat::threadSwitches);
+    ++*statThreadSwitches;
     countEvent(HwCounter::ThreadSwitches);
-    Tracer::instance().recordAt(cycleCount, TraceEvent::ContextSwitch,
-                                TracePhase::Begin, "context_switch");
+    if (tracerEnabled())
+        Tracer::instance().recordAt(cycleCount,
+                                    TraceEvent::ContextSwitch,
+                                    TracePhase::Begin,
+                                    "context_switch");
     chargePrimitive(Primitive::ContextSwitch);
 
     Cycles purge = tlbModel.switchContext();
@@ -141,7 +188,8 @@ SimKernel::contextSwitchTo(AddressSpace &target)
     primCycles += purge;
     if (purge) {
         countEvent(HwCounter::TlbPurgeCycles, purge);
-        Profiler::instance().addLeafCycles("tlb_purge", purge);
+        if (profilerEnabled())
+            Profiler::instance().addLeafCycles("tlb_purge", purge);
     }
 
     bool cache_tagged = !desc.cache.flushOnContextSwitch;
@@ -150,17 +198,19 @@ SimKernel::contextSwitchTo(AddressSpace &target)
     primCycles += flush;
     if (flush) {
         countEvent(HwCounter::CacheFlushCycles, flush);
-        Profiler::instance().addLeafCycles("cache_flush", flush);
+        if (profilerEnabled())
+            Profiler::instance().addLeafCycles("cache_flush", flush);
     }
 
     for (std::size_t i = 0; i < spaces.size(); ++i) {
         if (spaces[i].get() == &target) {
             currentIdx = i;
             touchWorkingSet();
-            Tracer::instance().recordAt(cycleCount,
-                                        TraceEvent::ContextSwitch,
-                                        TracePhase::End,
-                                        "context_switch");
+            if (tracerEnabled())
+                Tracer::instance().recordAt(cycleCount,
+                                            TraceEvent::ContextSwitch,
+                                            TracePhase::End,
+                                            "context_switch");
             return;
         }
     }
@@ -171,58 +221,100 @@ void
 SimKernel::threadSwitch()
 {
     ProfScope prof("thread_switch");
-    counters.inc(kstat::threadSwitches);
+    ++*statThreadSwitches;
     countEvent(HwCounter::ThreadSwitches);
     Cycles start = cycleCount;
     chargePrimitive(Primitive::ContextSwitch);
-    Tracer::instance().complete(start, cycleCount - start,
-                                TraceEvent::ThreadSwitch,
-                                "thread_switch");
+    if (tracerEnabled())
+        Tracer::instance().complete(start, cycleCount - start,
+                                    TraceEvent::ThreadSwitch,
+                                    "thread_switch");
 }
 
 void
 SimKernel::emulateInstructions(std::uint64_t n)
 {
-    counters.inc(kstat::emulatedInstrs, n);
+    *statEmulatedInstrs += n;
     countEvent(HwCounter::EmulatedInstrs, n);
     // Each emulated instruction decodes and interprets in the kernel:
     // a handful of cycles beyond the trap that delivered it.
-    Tracer::instance().recordAt(cycleCount, TraceEvent::EmulatedInstr,
-                                TracePhase::Instant, "emulate", n);
-    Cycles c = n * emulatedInstrCycles;
+    if (tracerEnabled())
+        Tracer::instance().recordAt(cycleCount,
+                                    TraceEvent::EmulatedInstr,
+                                    TracePhase::Instant, "emulate", n);
+    Cycles c;
+    if (!predecodeEnabled() && !tracerEnabled()) {
+        // Interpreter reference path: decode and dispatch each
+        // emulated instruction individually. The stream's total is
+        // emulatedInstrCycles by construction, so the charge is
+        // identical to the folded fast-path constant below.
+        CounterPause cpause;
+        ProfPause ppause;
+        c = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            c += refExec.runStream(emulStepSeq).cycles;
+    } else {
+        c = n * emulatedInstrCycles;
+    }
     cycleCount += c;
     primCycles += c;
-    Profiler::instance().addLeafCycles("emulate_instr", c);
+    if (profilerEnabled())
+        Profiler::instance().addLeafCycles("emulate_instr", c);
 }
 
 void
 SimKernel::emulateTestAndSet()
 {
-    counters.inc(kstat::emulatedInstrs);
+    ++*statEmulatedInstrs;
     countEvent(HwCounter::EmulatedInstrs);
     countEvent(HwCounter::EmulatedTasOps);
     // A dedicated fast trap vector: hardware entry/exit plus a short
     // interrupts-disabled test-and-set sequence (~80 cycles), much
     // cheaper than the general trap path but far dearer than an
-    // atomic instruction would be.
-    Cycles c = desc.timing.trapEnterCycles +
-               desc.timing.trapReturnCycles +
-               emulatedTasSequenceCycles;
+    // atomic instruction would be. With predecode on, the sequence's
+    // cycle total was computed once at construction; the interpreter
+    // fallback re-runs the fast-trap stream per event, with its
+    // micro-events and attribution suppressed (they are already
+    // folded into the constant and the leaf below).
+    Cycles c;
+    if (!predecodeEnabled() && !tracerEnabled()) {
+        CounterPause cpause;
+        ProfPause ppause;
+        c = refExec.runStream(tasSeq).cycles;
+    } else {
+        c = tasCycles;
+    }
     cycleCount += c;
     primCycles += c;
-    Profiler::instance().addLeafCycles("emulated_test_and_set", c);
+    if (profilerEnabled())
+        Profiler::instance().addLeafCycles("emulated_test_and_set", c);
 }
 
 void
 SimKernel::otherException()
 {
     ProfScope prof("exception");
-    counters.inc(kstat::otherExceptions);
+    ++*statOtherExceptions;
     countEvent(HwCounter::KernelTraps);
     Cycles start = cycleCount;
     chargePrimitive(Primitive::Trap);
     Tracer::instance().complete(start, cycleCount - start,
                                 TraceEvent::TrapEnter, "exception");
+}
+
+Cycles
+SimKernel::interpRefillCost(bool kernel_space)
+{
+    // Reference mode on a software-managed TLB: the refill really
+    // is a kernel handler (s5), so run it through the interpreter
+    // like every other handler. Its micro-event bumps and profile
+    // breakdown are already folded into the modeled constant, so
+    // they must not leak into the workload window.
+    CounterPause cpause;
+    ProfPause ppause;
+    return refExec
+        .runStream(kernel_space ? swRefillKernelSeq : swRefillUserSeq)
+        .cycles;
 }
 
 void
@@ -231,21 +323,33 @@ SimKernel::touchPages(const std::vector<Vpn> &pages, bool kernel_space)
     AddressSpace &space =
         kernel_space ? kernelSpace() : currentSpace();
     ProfScope prof("tlb_refill");
-    Tracer::instance().setCycle(cycleCount);
+    const bool tracing = tracerEnabled();
+    if (tracing)
+        Tracer::instance().setCycle(cycleCount);
+    const Asid asid = space.asid();
+    std::uint64_t *miss_stat =
+        kernel_space ? statKernelTlbMisses : statUserTlbMisses;
+    const char *miss_leaf = kernel_space ? "miss_kernel" : "miss_user";
+    // Loop-invariant: whether misses charge the interpreted refill
+    // handler (reference mode) or the lookup's modeled constant.
+    const bool interp_refill =
+        hasSwRefill && !predecodeEnabled() && !tracing;
     for (Vpn vpn : pages) {
-        TlbLookup r = tlbModel.lookup(vpn, space.asid(), kernel_space);
+        TlbLookup r = tlbModel.lookup(vpn, asid, kernel_space);
         if (!r.hit) {
-            cycleCount += r.missCycles;
-            primCycles += r.missCycles;
-            Profiler::instance().addLeafCycles(
-                kernel_space ? "miss_kernel" : "miss_user",
-                r.missCycles);
-            Tracer::instance().setCycle(cycleCount);
-            counters.inc(kernel_space ? kstat::kernelTlbMisses
-                                      : kstat::userTlbMisses);
-            WalkResult w = space.pageTable().walk(vpn);
-            Pte pte = w.pte ? *w.pte : Pte{vpn, {}, false, false, false};
-            tlbModel.insert(vpn, space.asid(), pte.pfn, pte.prot);
+            Cycles mc = interp_refill ? interpRefillCost(kernel_space)
+                                      : r.missCycles;
+            cycleCount += mc;
+            primCycles += mc;
+            if (profilerEnabled())
+                Profiler::instance().addLeafCycles(miss_leaf, mc);
+            if (tracing)
+                Tracer::instance().setCycle(cycleCount);
+            ++*miss_stat;
+            const Pte *walked = space.translate(vpn);
+            Pte pte =
+                walked ? *walked : Pte{vpn, {}, false, false, false};
+            tlbModel.refill(vpn, asid, pte.pfn, pte.prot, r.fillCell);
             // Refilling from a *mapped* page table makes the walk
             // itself reference kernel space: possible second-level
             // miss (s5: "Page tables, for instance, remain mapped in
@@ -255,18 +359,22 @@ SimKernel::touchPages(const std::vector<Vpn> &pages, bool kernel_space)
                 // Each address space has its own kernel-mapped table
                 // pages; more spaces means more table pages competing
                 // for TLB entries.
-                Vpn table_page = 0x800 + space.asid() +
-                                 ((vpn >> 10) % 2);
+                Vpn table_page = 0x800 + asid + ((vpn >> 10) % 2);
                 TlbLookup k =
                     tlbModel.lookup(table_page, 0, true);
                 if (!k.hit) {
-                    cycleCount += k.missCycles;
-                    primCycles += k.missCycles;
-                    Profiler::instance().addLeafCycles(
-                        "miss_page_table", k.missCycles);
-                    Tracer::instance().setCycle(cycleCount);
-                    counters.inc(kstat::kernelTlbMisses);
-                    tlbModel.insert(table_page, 0, table_page, {});
+                    Cycles kc = interp_refill ? interpRefillCost(true)
+                                              : k.missCycles;
+                    cycleCount += kc;
+                    primCycles += kc;
+                    if (profilerEnabled())
+                        Profiler::instance().addLeafCycles(
+                            "miss_page_table", kc);
+                    if (tracing)
+                        Tracer::instance().setCycle(cycleCount);
+                    ++*statKernelTlbMisses;
+                    tlbModel.refill(table_page, 0, table_page, {},
+                                    k.fillCell);
                 }
             }
         }
@@ -284,7 +392,8 @@ SimKernel::chargeMicros(double us)
 {
     Cycles c = desc.clock.microsToCycles(us);
     cycleCount += c;
-    Profiler::instance().addCycles(c);
+    if (profilerEnabled())
+        Profiler::instance().addCycles(c);
 }
 
 void
@@ -297,7 +406,8 @@ SimKernel::runUserCode(std::uint64_t instructions)
                  (desc.clock.mhz() / 11.1);
     auto c = static_cast<Cycles>(instructions * cpi + 0.5);
     cycleCount += c;
-    Profiler::instance().addLeafCycles("user_code", c);
+    if (profilerEnabled())
+        Profiler::instance().addLeafCycles("user_code", c);
 }
 
 double

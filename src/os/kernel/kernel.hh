@@ -14,6 +14,7 @@
 #ifndef AOSD_OS_KERNEL_KERNEL_HH
 #define AOSD_OS_KERNEL_KERNEL_HH
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -151,12 +152,55 @@ class SimKernel
 
   private:
     void chargePrimitive(Primitive p);
+    /** Re-interpret the software refill handler for one TLB miss
+     *  (predecode-off reference path); its total equals the modeled
+     *  constant the fast path charges, by construction. */
+    Cycles interpRefillCost(bool kernel_space);
 
     MachineDesc desc;
     const PrimitiveCostDb &costs;
+    /** cost(desc.id, p) resolved once per primitive at construction:
+     *  chargePrimitive runs per kernel event, so no map lookups there. */
+    std::array<const PrimitiveCost *, std::size(allPrimitives)>
+        primCost{};
+    /** Reference execution model for the predecode-off path, which
+     *  re-interprets the handler program on every kernel event instead
+     *  of charging the cached superblock totals. */
+    ExecModel refExec;
+    /** The emulated test&set fast-trap sequence (trap entry, the
+     *  interrupts-disabled test-and-set microcode, trap return) and
+     *  its pre-decoded cycle total. The interpreter fallback re-runs
+     *  the stream per event; the fast path charges the constant. */
+    InstrStream tasSeq;
+    Cycles tasCycles = 0;
+    /** Software TLB-refill handler streams (built only when the TLB is
+     *  software-managed). Their cycle totals equal the machine's
+     *  swUser/swKernelMissCycles by construction, so the interpreter
+     *  fallback — which re-runs the stream on every miss — charges
+     *  exactly what the fast path's modeled constant charges. */
+    InstrStream swRefillUserSeq;
+    InstrStream swRefillKernelSeq;
+    bool hasSwRefill = false;
+    /** The decode-and-dispatch work of emulating one user instruction
+     *  in the kernel (emulatedInstrCycles of ALU work). The
+     *  interpreter fallback re-runs this stream once per emulated
+     *  instruction; the fast path charges n times the constant. */
+    InstrStream emulStepSeq;
     Tlb tlbModel;
     Cache cacheModel;
     StatGroup counters{"kernel"};
+    /** Interned kstat handles (StatGroup::handle): the workload loop
+     *  bumps these once per kernel event, so no string lookups there.
+     *  Stable because `counters` is never copied or moved. */
+    std::uint64_t *statSyscalls;
+    std::uint64_t *statTraps;
+    std::uint64_t *statAddrSpaceSwitches;
+    std::uint64_t *statThreadSwitches;
+    std::uint64_t *statEmulatedInstrs;
+    std::uint64_t *statKernelTlbMisses;
+    std::uint64_t *statUserTlbMisses;
+    std::uint64_t *statOtherExceptions;
+    std::uint64_t *statPteChanges;
     std::vector<std::unique_ptr<AddressSpace>> spaces;
     std::size_t currentIdx = 0;
     Asid nextAsid = 1;

@@ -123,6 +123,19 @@ class StatGroup
         return it == counters.end() ? 0 : it->second;
     }
 
+    /**
+     * Intern a counter and return a stable reference to its value, so
+     * hot paths bump without a per-event string lookup. std::map nodes
+     * never move, so the reference stays valid for the group's
+     * lifetime (but not across copies/moves of the group — re-intern
+     * in the new object; see Tlb's copy operations).
+     */
+    std::uint64_t &
+    handle(const std::string &counter)
+    {
+        return counters[counter];
+    }
+
     /** Zero every counter. */
     void
     reset()

@@ -17,11 +17,10 @@ MachSystem::touchKernelPool(SimKernel &k, std::uint32_t touches, Rng &rng)
 {
     // Mapped kernel data (buffer cache, vm objects, u-areas) scattered
     // over a pool much larger than the TLB.
-    std::vector<Vpn> pages;
-    pages.reserve(touches);
+    poolScratch.clear();
     for (std::uint32_t i = 0; i < touches; ++i)
-        pages.push_back(0xC00 + rng.below(cfg.kernelPoolPages));
-    k.touchPages(pages, /*kernel_space=*/true);
+        poolScratch.push_back(0xC00 + rng.below(cfg.kernelPoolPages));
+    k.touchPages(poolScratch, /*kernel_space=*/true);
 }
 
 void

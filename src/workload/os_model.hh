@@ -121,6 +121,9 @@ class MachSystem
     MachineDesc desc;
     OsStructure osStructure;
     OsModelConfig cfg;
+    /** Scratch page list reused by touchKernelPool (the engine calls
+     *  it per syscall/IPC/switch; no per-call allocation). */
+    std::vector<Vpn> poolScratch;
 };
 
 /** Paper values for Table 7 (for benches/tests). Returns a row with

@@ -211,6 +211,41 @@ TEST_P(TlbPropertyTest, OccupancyNeverExceedsCapacityUnderRandomOps)
     EXPECT_TRUE(tlb.lookup(5, 3).hit);
 }
 
+TEST_P(TlbPropertyTest, HintedRefillBehavesLikeInsert)
+{
+    // Two mirrored TLBs driven by the same reference stream: one
+    // refills with the lookup's fillCell hint (the kernel's
+    // lookup-then-refill fast path), the other with plain insert().
+    // Every lookup must agree — a divergence means the hinted index
+    // write broke a probe-path invariant.
+    Rng rng(GetParam() * 104729);
+    TlbDesc d;
+    d.entries = 16;
+    d.processIdTags = true;
+    d.pidCount = 8;
+    Tlb hinted(d);
+    Tlb ref(d);
+    for (int i = 0; i < 20000; ++i) {
+        Vpn v = rng.below(48);
+        Asid a = static_cast<Asid>(rng.below(4));
+        if (rng.chance(0.02)) {
+            hinted.invalidate(v, a);
+            ref.invalidate(v, a);
+            continue;
+        }
+        TlbLookup h = hinted.lookup(v, a);
+        TlbLookup r = ref.lookup(v, a);
+        ASSERT_EQ(h.hit, r.hit) << "step " << i;
+        if (!h.hit) {
+            hinted.refill(v, a, v * 3, {}, h.fillCell);
+            ref.insert(v, a, v * 3, {});
+        } else {
+            ASSERT_EQ(h.pfn, r.pfn);
+        }
+        ASSERT_EQ(hinted.validEntries(), ref.validEntries());
+    }
+}
+
 TEST_P(TlbPropertyTest, HitAfterInsertUntilEvicted)
 {
     Rng rng(GetParam() * 7919);

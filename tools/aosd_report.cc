@@ -33,6 +33,7 @@
 #include <fstream>
 #include <string>
 
+#include "cpu/decoded_program.hh"
 #include "sim/logging.hh"
 #include "sim/parallel/parallel_runner.hh"
 #include "sim/stats.hh"
@@ -53,7 +54,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--json [path]] [--trace path] [--stats path]\n"
-        "          [--timeseries path] [--jobs N]\n"
+        "          [--timeseries path] [--jobs N] [--no-predecode]\n"
         "  --json [path]  write report.json (stdout when no path)\n"
         "  --trace path   write a chrome://tracing timeline\n"
         "                 (forces --jobs 1)\n"
@@ -63,7 +64,12 @@ usage(const char *argv0)
         "                 timeseries.json (per-interval event rates)\n"
         "  --jobs N       worker threads (default: all cores;\n"
         "                 1 = serial; report is identical either "
-        "way)\n",
+        "way)\n"
+        "  --no-predecode re-interpret every handler program per\n"
+        "                 kernel event instead of replaying the\n"
+        "                 pre-decoded superblocks (slow reference\n"
+        "                 path; output is identical — CI cmp-gates "
+        "it)\n",
         argv0);
 }
 
@@ -158,6 +164,8 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(std::atoi(jobs_arg.c_str()));
             if (jobs == 0)
                 jobs = ParallelRunner::defaultJobs();
+        } else if (arg == "--no-predecode") {
+            setPredecodeEnabled(false);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
