@@ -1,0 +1,102 @@
+#!/bin/sh
+# Regenerate the committed perf-database baselines from a reference
+# run of the current tree.
+#
+# Usage: from the repo root, with a RelWithDebInfo build in ./build:
+#
+#   sh bench/baselines/refresh.sh
+#
+# What it does:
+#   1. Runs aosd_report / aosd_counters (plain and --kernel-windows)
+#      on the current tree. These documents are deterministic — any
+#      machine produces the same bytes.
+#   2. Runs the simperf benchmark suite twice (predecode on and off)
+#      and folds the two into BENCH_predecode.json speedups. These
+#      numbers are wall-clock and machine-dependent; they seed the
+#      bench trajectory and earn themselves MAD slack in the rolling
+#      band as real runs accumulate.
+#   3. Rebuilds bench/baselines/perfdb.jsonl: one record per recent
+#      commit (oldest first, each keyed by the commit's own hash and
+#      committer date so `aosd_bisect --db --from <commit>` resolves),
+#      all carrying the reference documents; the newest also carries
+#      the two BENCH suites.
+#
+# Refresh whenever a PR intentionally moves simulated figures (the
+# same PRs that regenerate tests/expected_*.json), then commit the
+# result. tests/test_trend.cc checks the committed baselines agree
+# with the current simulator, so a stale baseline fails tier-1.
+
+set -e
+
+BUILD=${BUILD:-build}
+OUT=bench/baselines
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== reference documents"
+"$BUILD"/tools/aosd_report --json "$TMP"/report.json
+"$BUILD"/tools/aosd_counters --json "$TMP"/counters.json
+"$BUILD"/tools/aosd_counters --kernel-windows \
+    --json "$TMP"/kernel_windows.json
+
+echo "== benchmarks (predecode on)"
+"$BUILD"/bench/simperf \
+    --benchmark_filter='BM_ReportFull|BM_WorkloadRun|BM_HandlerExecution|BM_TlbLookup|BM_LrpcSimulation' \
+    --benchmark_out="$OUT"/BENCH_simperf.json \
+    --benchmark_out_format=json
+
+echo "== benchmarks (predecode off)"
+AOSD_NO_PREDECODE=1 "$BUILD"/bench/simperf \
+    --benchmark_filter='BM_ReportFull|BM_WorkloadRun' \
+    --benchmark_out="$TMP"/BENCH_predecode_off.json \
+    --benchmark_out_format=json
+
+echo "== fold predecode speedups"
+python3 - "$OUT"/BENCH_simperf.json "$TMP"/BENCH_predecode_off.json \
+    "$OUT"/BENCH_predecode.json <<'EOF'
+import json, sys
+
+def times(path):
+    raw = json.load(open(path))
+    return {b['name']: b['real_time'] for b in raw['benchmarks']}
+
+on = times(sys.argv[1])
+off = times(sys.argv[2])
+doc = {'schema_version': 1, 'generator': 'bench/baselines/refresh.sh',
+       'benchmarks': {}}
+for name in sorted(on):
+    if name not in off:
+        continue
+    doc['benchmarks'][name] = {
+        'predecode_real_time': on[name],
+        'interpreter_real_time': off[name],
+        'speedup': off[name] / on[name],
+    }
+json.dump(doc, open(sys.argv[3], 'w'), indent=1)
+EOF
+
+echo "== rebuild $OUT/perfdb.jsonl"
+rm -f "$OUT"/perfdb.jsonl
+COMMITS=$(git log --format='%H %cI' -3 | tac | awk '{print $1 "=" $2}')
+LAST=$(git log --format='%H' -1)
+for entry in $COMMITS; do
+    commit=${entry%%=*}
+    when=${entry#*=}
+    if [ "$commit" = "$LAST" ]; then
+        BENCH_ARGS="--bench simperf=$OUT/BENCH_simperf.json \
+                    --bench predecode=$OUT/BENCH_predecode.json"
+    else
+        BENCH_ARGS=""
+    fi
+    # shellcheck disable=SC2086
+    "$BUILD"/tools/aosd_trend ingest --db "$OUT"/perfdb.jsonl \
+        --commit "$commit" --time "$when" \
+        --host reference --flags gcc-RelWithDebInfo \
+        --report "$TMP"/report.json \
+        --counters "$TMP"/counters.json \
+        --kernel-windows "$TMP"/kernel_windows.json \
+        $BENCH_ARGS
+done
+
+"$BUILD"/tools/aosd_trend list --db "$OUT"/perfdb.jsonl
+echo "== done; review and commit bench/baselines/"

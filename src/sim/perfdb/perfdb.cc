@@ -1,0 +1,342 @@
+#include "sim/perfdb/perfdb.hh"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace aosd
+{
+
+namespace
+{
+
+std::string
+stringField(const Json &rec, const char *key)
+{
+    const Json *v = rec.find(key);
+    return v && v->isString() ? v->asString() : std::string();
+}
+
+} // namespace
+
+PerfDbRecord::PerfDbRecord(Json rec)
+    : rec_(std::move(rec)), id_(PerfDb::recordId(rec_))
+{}
+
+std::string
+PerfDbRecord::commit() const
+{
+    return stringField(rec_, "commit");
+}
+
+std::string
+PerfDbRecord::timestamp() const
+{
+    return stringField(rec_, "timestamp");
+}
+
+std::string
+PerfDbRecord::host() const
+{
+    return stringField(rec_, "host");
+}
+
+std::string
+PerfDbRecord::buildFlags() const
+{
+    return stringField(rec_, "build_flags");
+}
+
+const Json *
+PerfDbRecord::doc(const std::string &name) const
+{
+    const Json *docs = rec_.find("docs");
+    if (!docs || !docs->isObject())
+        return nullptr;
+    // "bench.<suite>" addresses one suite inside the bench group.
+    if (name.rfind("bench.", 0) == 0) {
+        const Json *bench = docs->find("bench");
+        if (!bench || !bench->isObject())
+            return nullptr;
+        return bench->find(name.substr(6));
+    }
+    return docs->find(name);
+}
+
+std::vector<std::string>
+PerfDbRecord::docNames() const
+{
+    std::vector<std::string> names;
+    const Json *docs = rec_.find("docs");
+    if (!docs || !docs->isObject())
+        return names;
+    for (const auto &[key, value] : docs->items()) {
+        if (key == "bench" && value.isObject()) {
+            for (const auto &[suite, doc] : value.items()) {
+                (void)doc;
+                names.push_back("bench." + suite);
+            }
+        } else {
+            names.push_back(key);
+        }
+    }
+    return names;
+}
+
+std::string
+PerfDb::recordId(const Json &rec)
+{
+    return stringField(rec, "commit") + "@" +
+           stringField(rec, "timestamp");
+}
+
+std::string
+PerfDb::validateRecord(const Json &rec)
+{
+    if (!rec.isObject())
+        return "record is not a JSON object";
+    const Json *ver = rec.find("schema_version");
+    if (!ver || !ver->isNumber())
+        return "schema_version: missing or not a number";
+    if (ver->asNumber() != perfDbSchemaVersion)
+        return "schema_version: expected " +
+               std::to_string(perfDbSchemaVersion) + ", got " +
+               std::to_string(static_cast<long>(ver->asNumber()));
+    const Json *kind = rec.find("kind");
+    if (!kind || !kind->isString() ||
+        kind->asString() != "aosd-perfdb-record")
+        return "kind: expected \"aosd-perfdb-record\"";
+    for (const char *key : {"commit", "timestamp", "host",
+                            "build_flags"}) {
+        const Json *v = rec.find(key);
+        if (!v || !v->isString() || v->asString().empty())
+            return std::string(key) + ": missing or empty";
+    }
+    const Json *id = rec.find("id");
+    if (!id || !id->isString() || id->asString() != recordId(rec))
+        return "id: must be \"<commit>@<timestamp>\"";
+    const Json *docs = rec.find("docs");
+    if (!docs || !docs->isObject())
+        return "docs: missing or not an object";
+    if (docs->items().empty())
+        return "docs: a record must carry at least one document";
+    for (const auto &[name, doc] : docs->items())
+        if (!doc.isObject())
+            return "docs." + name + ": not an object";
+    return "";
+}
+
+bool
+PerfDb::loadFromString(const std::string &text, std::string *error)
+{
+    records_.clear();
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::string parse_error;
+        Json rec = Json::parse(line, &parse_error);
+        if (rec.isNull()) {
+            if (error)
+                *error = "line " + std::to_string(lineno) + ": " +
+                         (parse_error.empty() ? "null record"
+                                              : parse_error);
+            records_.clear();
+            return false;
+        }
+        std::string why;
+        if (!append(std::move(rec), &why)) {
+            if (error)
+                *error =
+                    "line " + std::to_string(lineno) + ": " + why;
+            records_.clear();
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+PerfDb::load(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot read " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return loadFromString(buf.str(), error);
+}
+
+bool
+PerfDb::append(Json rec, std::string *error)
+{
+    std::string why = validateRecord(rec);
+    if (!why.empty()) {
+        if (error)
+            *error = "invalid record: " + why;
+        return false;
+    }
+    std::string id = recordId(rec);
+    for (const PerfDbRecord &existing : records_) {
+        if (existing.id() == id) {
+            if (error)
+                *error = "duplicate record id " + id +
+                         " (use --replace to re-record this run)";
+            return false;
+        }
+    }
+    records_.emplace_back(std::move(rec));
+    return true;
+}
+
+bool
+PerfDb::remove(const std::string &id)
+{
+    for (auto it = records_.begin(); it != records_.end(); ++it) {
+        if (it->id() == id) {
+            records_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+PerfDb::toJsonl() const
+{
+    std::string out;
+    for (const PerfDbRecord &rec : records_) {
+        out += rec.json().dump();
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+PerfDb::save(const std::string &path, std::string *error) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        if (error)
+            *error = "cannot write " + path;
+        return false;
+    }
+    out << toJsonl();
+    return true;
+}
+
+const PerfDbRecord *
+PerfDb::resolve(const std::string &ref, std::string *error) const
+{
+    if (records_.empty()) {
+        if (error)
+            *error = "database is empty";
+        return nullptr;
+    }
+    if (ref == "latest" || ref == "-1")
+        return &records_.back();
+    if (ref.size() > 1 && ref[0] == '-') {
+        // "-N": N records back from the end.
+        std::size_t n = 0;
+        bool numeric = true;
+        for (std::size_t i = 1; i < ref.size(); ++i) {
+            if (ref[i] < '0' || ref[i] > '9') {
+                numeric = false;
+                break;
+            }
+            n = n * 10 + static_cast<std::size_t>(ref[i] - '0');
+        }
+        if (numeric) {
+            if (n == 0 || n > records_.size()) {
+                if (error)
+                    *error = ref + ": only " +
+                             std::to_string(records_.size()) +
+                             " record(s) in the database";
+                return nullptr;
+            }
+            return &records_[records_.size() - n];
+        }
+    }
+    for (const PerfDbRecord &rec : records_)
+        if (rec.id() == ref)
+            return &rec;
+    // A commit or commit prefix: the newest matching run wins, and a
+    // prefix matching several *different* commits is ambiguous.
+    const PerfDbRecord *match = nullptr;
+    std::set<std::string> commits;
+    for (const PerfDbRecord &rec : records_) {
+        if (rec.commit().rfind(ref, 0) == 0) {
+            match = &rec;
+            commits.insert(rec.commit());
+        }
+    }
+    if (commits.size() > 1) {
+        if (error) {
+            *error = ref + ": ambiguous, matches " +
+                     std::to_string(commits.size()) + " commits (";
+            bool first = true;
+            for (const std::string &c : commits) {
+                if (!first)
+                    *error += ", ";
+                *error += c;
+                first = false;
+            }
+            *error += ")";
+        }
+        return nullptr;
+    }
+    if (!match && error)
+        *error = ref + ": no record with this id, commit or index";
+    return match;
+}
+
+Json
+summarizeNumericArrays(const Json &doc)
+{
+    switch (doc.kind()) {
+      case Json::Kind::Object: {
+          Json out = Json::object();
+          for (const auto &[key, value] : doc.items())
+              out.set(key, summarizeNumericArrays(value));
+          return out;
+      }
+      case Json::Kind::Array: {
+          bool all_numbers = doc.size() > 0;
+          for (std::size_t i = 0; i < doc.size(); ++i)
+              if (!doc.at(i).isNumber())
+                  all_numbers = false;
+          if (!all_numbers) {
+              Json out = Json::array();
+              for (std::size_t i = 0; i < doc.size(); ++i)
+                  out.push(summarizeNumericArrays(doc.at(i)));
+              return out;
+          }
+          double sum = 0, lo = doc.at(0).asNumber(),
+                 hi = doc.at(0).asNumber();
+          for (std::size_t i = 0; i < doc.size(); ++i) {
+              double v = doc.at(i).asNumber();
+              sum += v;
+              lo = std::min(lo, v);
+              hi = std::max(hi, v);
+          }
+          Json digest = Json::object();
+          digest.set("n", Json(static_cast<std::uint64_t>(doc.size())));
+          digest.set("mean", Json(sum / static_cast<double>(doc.size())));
+          digest.set("min", Json(lo));
+          digest.set("max", Json(hi));
+          digest.set("last", Json(doc.at(doc.size() - 1).asNumber()));
+          return digest;
+      }
+      default:
+        return doc;
+    }
+}
+
+} // namespace aosd

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Append-only performance database: one JSONL record per run.
+ *
+ * Every CI run (and any local run worth keeping) produces one-shot
+ * evidence — report.json, counters.json, timeseries.json,
+ * profile.json, BENCH_*.json — that used to vanish when the run ended.
+ * This store accumulates them: each line of the database is one
+ * schema-versioned record keyed by (commit, timestamp), carrying the
+ * run's metadata and its ingested documents. The format is JSONL so
+ * appending a run never rewrites history and `git diff` on a committed
+ * database shows exactly the runs that were added.
+ *
+ * Record schema (version 1):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "kind": "aosd-perfdb-record",
+ *     "id": "<commit>@<timestamp>",
+ *     "commit": "<sha or label>",
+ *     "timestamp": "<ISO 8601>",
+ *     "host": "<machine label>",
+ *     "build_flags": "<compiler/config label>",
+ *     "docs": {
+ *       "report": {...}, "counters": {...}, "kernel_windows": {...},
+ *       "profile": {...}, "timeseries_summary": {...},
+ *       "bench": {"<suite>": {...}, ...}
+ *     }
+ *   }
+ *
+ * The schema is append-only: new doc names may appear, existing ones
+ * keep their meaning. Records are immutable once written; a re-run of
+ * the same commit replaces its record explicitly (tools pass
+ * `--replace`), never silently.
+ *
+ * This layer is pure storage — metric extraction, rolling statistics
+ * and the regression band live in study/trend_report.
+ */
+
+#ifndef AOSD_SIM_PERFDB_HH
+#define AOSD_SIM_PERFDB_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace aosd
+{
+
+/** Current perfdb record schema version. */
+inline constexpr int perfDbSchemaVersion = 1;
+
+/** One run's evidence: metadata plus the ingested documents. */
+class PerfDbRecord
+{
+  public:
+    explicit PerfDbRecord(Json rec);
+
+    const Json &json() const { return rec_; }
+    /** "<commit>@<timestamp>", unique within a database. */
+    const std::string &id() const { return id_; }
+    std::string commit() const;
+    std::string timestamp() const;
+    std::string host() const;
+    std::string buildFlags() const;
+
+    /** Stored document by name ("report", "counters",
+     *  "kernel_windows", "profile", "timeseries_summary",
+     *  "bench.<suite>"); nullptr when the run did not ingest it. */
+    const Json *doc(const std::string &name) const;
+    /** Names of every stored document, in record order
+     *  (bench suites as "bench.<suite>"). */
+    std::vector<std::string> docNames() const;
+
+  private:
+    Json rec_;
+    std::string id_;
+};
+
+/** The database: an ordered list of records, oldest first. */
+class PerfDb
+{
+  public:
+    /** "" when `rec` is a valid v1 record, else the reason, prefixed
+     *  with the dotted path of the offending field. */
+    static std::string validateRecord(const Json &rec);
+
+    /** The id a valid record object carries: "<commit>@<timestamp>". */
+    static std::string recordId(const Json &rec);
+
+    /** Parse a JSONL database file. A malformed line, invalid record
+     *  or duplicate id fails the whole load with a line-numbered
+     *  reason: a corrupt history must not be silently truncated. */
+    bool load(const std::string &path, std::string *error = nullptr);
+    bool loadFromString(const std::string &text,
+                        std::string *error = nullptr);
+
+    /** Append in memory. Invalid records and duplicate ids are
+     *  rejected with a reason. */
+    bool append(Json rec, std::string *error = nullptr);
+
+    /** Drop the record with `id` (used by --replace). */
+    bool remove(const std::string &id);
+
+    /** One compact line per record, each newline-terminated. */
+    std::string toJsonl() const;
+    /** Rewrite the whole database (only --replace needs this; plain
+     *  ingest appends the one new line itself). */
+    bool save(const std::string &path,
+              std::string *error = nullptr) const;
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    const PerfDbRecord &at(std::size_t i) const { return records_[i]; }
+    const std::vector<PerfDbRecord> &records() const { return records_; }
+
+    /**
+     * Resolve a record reference: an exact id, "latest", a negative
+     * index ("-1" = latest, "-2" = one before), or a commit / unique
+     * commit prefix (the newest matching record wins, so "deadbeef"
+     * names that commit's most recent run). nullptr with a reason when
+     * nothing (or something ambiguous across commits) matches.
+     */
+    const PerfDbRecord *resolve(const std::string &ref,
+                                std::string *error = nullptr) const;
+
+  private:
+    std::vector<PerfDbRecord> records_;
+};
+
+/**
+ * Deep-copy `doc` with every all-numeric array replaced by a
+ * {"n","mean","min","max","last"} digest. Ingest applies this to
+ * timeseries.json (3+ MB of per-interval samples) so a record stays a
+ * few tens of KB while the per-series trends remain queryable.
+ */
+Json summarizeNumericArrays(const Json &doc);
+
+} // namespace aosd
+
+#endif // AOSD_SIM_PERFDB_HH

@@ -40,6 +40,79 @@ flattenInto(const Json &node, const std::string &prefix,
     }
 }
 
+const char *
+kindName(Json::Kind kind)
+{
+    switch (kind) {
+      case Json::Kind::Null:
+        return "null";
+      case Json::Kind::Bool:
+        return "bool";
+      case Json::Kind::Number:
+        return "number";
+      case Json::Kind::String:
+        return "string";
+      case Json::Kind::Array:
+        return "array";
+      case Json::Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+bool
+findMismatch(const Json &oldNode, const Json &newNode,
+             const std::string &path, StructuralMismatch &out)
+{
+    auto report = [&](std::string description) {
+        out.found = true;
+        out.path = path;
+        out.description = std::move(description);
+        return true;
+    };
+
+    if (oldNode.kind() != newNode.kind())
+        return report(std::string(kindName(oldNode.kind())) + " -> " +
+                      kindName(newNode.kind()));
+
+    if (oldNode.isObject()) {
+        for (const auto &[key, value] : oldNode.items()) {
+            (void)value;
+            if (!newNode.has(key))
+                return report("key '" + key +
+                              "' missing from the new document");
+        }
+        for (const auto &[key, value] : newNode.items()) {
+            (void)value;
+            if (!oldNode.has(key))
+                return report("key '" + key +
+                              "' only in the new document");
+        }
+        for (const auto &[key, value] : oldNode.items())
+            if (findMismatch(value, newNode.at(key),
+                             path.empty() ? key : path + "." + key,
+                             out))
+                return true;
+        return false;
+    }
+
+    if (oldNode.isArray()) {
+        if (oldNode.size() != newNode.size())
+            return report("array length " +
+                          std::to_string(oldNode.size()) + " -> " +
+                          std::to_string(newNode.size()));
+        for (std::size_t i = 0; i < oldNode.size(); ++i)
+            if (findMismatch(oldNode.at(i), newNode.at(i),
+                             (path.empty() ? "" : path + ".") +
+                                 std::to_string(i),
+                             out))
+                return true;
+        return false;
+    }
+
+    return false; // same-kind scalars differ in value, not shape
+}
+
 } // namespace
 
 std::vector<PerfLeaf>
@@ -100,6 +173,14 @@ diffPerfDocs(const Json &old_doc, const Json &new_doc, double rel_tol,
         diff.deltas.push_back(d);
     }
     return diff;
+}
+
+StructuralMismatch
+firstStructuralMismatch(const Json &old_doc, const Json &new_doc)
+{
+    StructuralMismatch out;
+    findMismatch(old_doc, new_doc, "", out);
+    return out;
 }
 
 } // namespace aosd

@@ -73,6 +73,26 @@ std::vector<PerfLeaf> flattenNumericLeaves(const Json &doc);
 PerfDiff diffPerfDocs(const Json &old_doc, const Json &new_doc,
                       double rel_tol, double abs_tol = 1e-9);
 
+/** The first place two documents disagree in *shape*. */
+struct StructuralMismatch
+{
+    bool found = false;
+    /** Dotted path of the mismatch ("" for the document roots). */
+    std::string path;
+    /** "missing key", "array length 10 -> 12", "object -> number". */
+    std::string description;
+};
+
+/**
+ * Depth-first parallel walk naming the first structural difference:
+ * a key present on one side only, an array-length change, or a node
+ * changing JSON kind. Schema drift between two supposedly-same-shape
+ * documents (trend ingest, CI goldens) is then diagnosable from one
+ * line instead of from hundreds of MISSING/ADDED leaves.
+ */
+StructuralMismatch firstStructuralMismatch(const Json &old_doc,
+                                           const Json &new_doc);
+
 } // namespace aosd
 
 #endif // AOSD_STUDY_PERFDIFF_HH

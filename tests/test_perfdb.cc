@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The perf-database store: record validation, JSONL round-trips,
+ * duplicate/malformed rejection, reference resolution and the
+ * numeric-array digest used for timeseries ingest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/json.hh"
+#include "sim/perfdb/perfdb.hh"
+#include "study/trend_report.hh"
+
+using namespace aosd;
+
+namespace
+{
+
+Json
+parse(const std::string &text)
+{
+    std::string error;
+    Json doc = Json::parse(text, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    return doc;
+}
+
+/** A minimal valid record with one tiny report document. */
+Json
+makeRecord(const std::string &commit, const std::string &time,
+           double value = 1.0)
+{
+    Json fig = Json::object();
+    fig.set("id", Json("metric_a.M"));
+    fig.set("unit", Json("us"));
+    fig.set("sim", Json(value));
+    Json figs = Json::array();
+    figs.push(std::move(fig));
+    Json table = Json::object();
+    table.set("figures", std::move(figs));
+    Json tables = Json::object();
+    tables.set("table1", std::move(table));
+    Json report = Json::object();
+    report.set("tables", std::move(tables));
+
+    PerfDbRecordInputs in;
+    in.report = &report;
+    return buildPerfDbRecord(commit, time, "testhost", "test-flags",
+                             in);
+}
+
+TEST(PerfDb, BuiltRecordValidatesAndCarriesItsKey)
+{
+    Json rec = makeRecord("abc123", "2026-08-01T00:00:00Z");
+    EXPECT_EQ(PerfDb::validateRecord(rec), "");
+    EXPECT_EQ(PerfDb::recordId(rec), "abc123@2026-08-01T00:00:00Z");
+    EXPECT_EQ(rec.at("kind").asString(), "aosd-perfdb-record");
+    EXPECT_EQ(rec.at("schema_version").asNumber(),
+              perfDbSchemaVersion);
+}
+
+TEST(PerfDb, JsonlRoundTripIsByteIdentical)
+{
+    PerfDb db;
+    ASSERT_TRUE(db.append(makeRecord("a", "t1")));
+    ASSERT_TRUE(db.append(makeRecord("b", "t2", 2.0)));
+    std::string text = db.toJsonl();
+
+    PerfDb reloaded;
+    std::string error;
+    ASSERT_TRUE(reloaded.loadFromString(text, &error)) << error;
+    ASSERT_EQ(reloaded.size(), 2u);
+    EXPECT_EQ(reloaded.toJsonl(), text);
+    EXPECT_EQ(reloaded.at(0).id(), "a@t1");
+    EXPECT_EQ(reloaded.at(1).commit(), "b");
+    EXPECT_EQ(reloaded.at(1).host(), "testhost");
+}
+
+TEST(PerfDb, DuplicateIdIsRejected)
+{
+    PerfDb db;
+    ASSERT_TRUE(db.append(makeRecord("a", "t1")));
+    std::string error;
+    EXPECT_FALSE(db.append(makeRecord("a", "t1", 9.0), &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+    EXPECT_NE(error.find("a@t1"), std::string::npos) << error;
+    EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(PerfDb, MalformedLineFailsTheLoadWithLineNumber)
+{
+    PerfDb db;
+    std::string error;
+    std::string text = makeRecord("a", "t1").dump() + "\n" +
+                       "this is not json\n";
+    EXPECT_FALSE(db.loadFromString(text, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_EQ(db.size(), 0u); // no silent truncation
+}
+
+TEST(PerfDb, InvalidRecordsAreNamedByField)
+{
+    Json rec = makeRecord("a", "t1");
+    rec.set("schema_version", Json(99));
+    EXPECT_NE(PerfDb::validateRecord(rec).find("schema_version"),
+              std::string::npos);
+
+    rec = makeRecord("a", "t1");
+    rec.set("commit", Json(""));
+    EXPECT_NE(PerfDb::validateRecord(rec).find("commit"),
+              std::string::npos);
+
+    rec = makeRecord("a", "t1");
+    rec.set("docs", Json::object());
+    EXPECT_NE(PerfDb::validateRecord(rec).find("docs"),
+              std::string::npos);
+
+    rec = makeRecord("a", "t1");
+    rec.set("id", Json("wrong@id"));
+    EXPECT_NE(PerfDb::validateRecord(rec).find("id"),
+              std::string::npos);
+
+    // And an invalid line poisons a load, naming the line.
+    PerfDb db;
+    std::string error;
+    EXPECT_FALSE(db.loadFromString(rec.dump() + "\n", &error));
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+TEST(PerfDb, ResolvesIdsCommitsPrefixesAndIndices)
+{
+    PerfDb db;
+    ASSERT_TRUE(db.append(makeRecord("deadbeef01", "t1")));
+    ASSERT_TRUE(db.append(makeRecord("deadbeef01", "t2")));
+    ASSERT_TRUE(db.append(makeRecord("cafe02", "t3")));
+
+    EXPECT_EQ(db.resolve("latest")->id(), "cafe02@t3");
+    EXPECT_EQ(db.resolve("-1")->id(), "cafe02@t3");
+    EXPECT_EQ(db.resolve("-3")->id(), "deadbeef01@t1");
+    EXPECT_EQ(db.resolve("deadbeef01@t1")->id(), "deadbeef01@t1");
+    // A commit names its newest run; a prefix works too.
+    EXPECT_EQ(db.resolve("deadbeef01")->id(), "deadbeef01@t2");
+    EXPECT_EQ(db.resolve("dead")->id(), "deadbeef01@t2");
+
+    std::string error;
+    EXPECT_EQ(db.resolve("-4", &error), nullptr);
+    EXPECT_NE(error.find("3 record(s)"), std::string::npos) << error;
+    EXPECT_EQ(db.resolve("nosuch", &error), nullptr);
+    EXPECT_NE(error.find("nosuch"), std::string::npos) << error;
+}
+
+TEST(PerfDb, AmbiguousCommitPrefixIsAnError)
+{
+    PerfDb db;
+    ASSERT_TRUE(db.append(makeRecord("abc111", "t1")));
+    ASSERT_TRUE(db.append(makeRecord("abc222", "t2")));
+    std::string error;
+    EXPECT_EQ(db.resolve("abc", &error), nullptr);
+    EXPECT_NE(error.find("ambiguous"), std::string::npos) << error;
+}
+
+TEST(PerfDb, RemoveSupportsReplace)
+{
+    PerfDb db;
+    ASSERT_TRUE(db.append(makeRecord("a", "t1", 1.0)));
+    EXPECT_TRUE(db.remove("a@t1"));
+    EXPECT_FALSE(db.remove("a@t1"));
+    ASSERT_TRUE(db.append(makeRecord("a", "t1", 2.0)));
+    EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(PerfDb, DocAccessIncludesBenchSuites)
+{
+    Json report = parse(R"({"tables":{}})");
+    Json bench = parse(R"({
+        "benchmarks": [
+            {"name": "BM_X", "real_time": 12.5, "cpu_time": 12.0,
+             "time_unit": "us", "iterations": 100}
+        ],
+        "context": {"date": "noise", "load_avg": [1, 2, 3]}
+    })");
+    PerfDbRecordInputs in;
+    in.report = &report;
+    in.bench.emplace_back("simperf", &bench);
+    PerfDbRecord rec(
+        buildPerfDbRecord("c", "t", "h", "f", in));
+
+    EXPECT_NE(rec.doc("report"), nullptr);
+    ASSERT_NE(rec.doc("bench.simperf"), nullptr);
+    EXPECT_EQ(rec.doc("bench.nosuch"), nullptr);
+    // The run-local context block is dropped, the figures kept.
+    const Json &marks = rec.doc("bench.simperf")->at("benchmarks");
+    EXPECT_DOUBLE_EQ(marks.at("BM_X").at("real_time").asNumber(),
+                     12.5);
+    EXPECT_FALSE(rec.doc("bench.simperf")->has("context"));
+
+    auto names = rec.docNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "report");
+    EXPECT_EQ(names[1], "bench.simperf");
+}
+
+TEST(PerfDb, SummarizeNumericArraysDigestsSeries)
+{
+    Json doc = parse(R"({
+        "cell": {"cycles": [10, 20, 30, 40], "label": "keep"},
+        "mixed": [{"inner": [1, 2]}, "s"],
+        "empty": []
+    })");
+    Json out = summarizeNumericArrays(doc);
+
+    const Json &digest = out.at("cell").at("cycles");
+    EXPECT_EQ(digest.at("n").asNumber(), 4);
+    EXPECT_DOUBLE_EQ(digest.at("mean").asNumber(), 25.0);
+    EXPECT_DOUBLE_EQ(digest.at("min").asNumber(), 10.0);
+    EXPECT_DOUBLE_EQ(digest.at("max").asNumber(), 40.0);
+    EXPECT_DOUBLE_EQ(digest.at("last").asNumber(), 40.0);
+    // Non-numeric arrays recurse instead of digesting...
+    const Json &inner = out.at("mixed").at(0).at("inner");
+    EXPECT_EQ(inner.at("n").asNumber(), 2);
+    EXPECT_EQ(out.at("mixed").at(1).asString(), "s");
+    // ... and an empty array stays an array.
+    EXPECT_TRUE(out.at("empty").isArray());
+    EXPECT_EQ(out.at("cell").at("label").asString(), "keep");
+}
+
+} // namespace

@@ -152,9 +152,10 @@ TEST(PerfDiff, PerturbedGoldenProfileIsFlaggedByPath)
     EXPECT_FALSE(diff.ok());
     ASSERT_EQ(diff.regressions, 1u);
     for (const PerfDelta &d : diff.deltas) {
-        if (d.kind == PerfDelta::Kind::Changed)
+        if (d.kind == PerfDelta::Kind::Changed) {
             EXPECT_EQ(d.path,
                       "machines.CVAX.null_syscall.cycles_per_call");
+        }
     }
 }
 
@@ -207,6 +208,70 @@ TEST(PerfDiff, ShorterArrayReportsMissingTailElements)
             d.path == "rates.2")
             missing_tail = true;
     EXPECT_TRUE(missing_tail);
+}
+
+TEST(PerfDiff, StructuralMismatchNamesTheFirstDivergentPath)
+{
+    Json old_doc = parse(R"({
+        "machines": {"CVAX": {"counters": {"loads": 1, "stores": 2}}},
+        "rates": [1.0, 2.0]
+    })");
+
+    // Identical shapes (even with different values) are clean.
+    Json same = parse(R"({
+        "machines": {"CVAX": {"counters": {"loads": 9, "stores": 8}}},
+        "rates": [5.0, 6.0]
+    })");
+    EXPECT_FALSE(firstStructuralMismatch(old_doc, same).found);
+
+    // A deleted key is named by its parent's dotted path.
+    Json dropped = parse(R"({
+        "machines": {"CVAX": {"counters": {"stores": 2}}},
+        "rates": [1.0, 2.0]
+    })");
+    StructuralMismatch m = firstStructuralMismatch(old_doc, dropped);
+    ASSERT_TRUE(m.found);
+    EXPECT_EQ(m.path, "machines.CVAX.counters");
+    EXPECT_NE(m.description.find("'loads'"), std::string::npos)
+        << m.description;
+    EXPECT_NE(m.description.find("missing from the new document"),
+              std::string::npos)
+        << m.description;
+
+    // An added key and a kind change are named too.
+    Json added = parse(R"({
+        "machines": {"CVAX": {"counters":
+            {"loads": 1, "stores": 2, "flushes": 0}}},
+        "rates": [1.0, 2.0]
+    })");
+    m = firstStructuralMismatch(old_doc, added);
+    ASSERT_TRUE(m.found);
+    EXPECT_NE(m.description.find("only in the new document"),
+              std::string::npos)
+        << m.description;
+
+    Json retyped = parse(R"({
+        "machines": {"CVAX": {"counters": {"loads": "1", "stores": 2}}},
+        "rates": [1.0, 2.0]
+    })");
+    m = firstStructuralMismatch(old_doc, retyped);
+    ASSERT_TRUE(m.found);
+    EXPECT_EQ(m.path, "machines.CVAX.counters.loads");
+    EXPECT_NE(m.description.find("number -> string"),
+              std::string::npos)
+        << m.description;
+
+    // Array length changes name the array, not an element.
+    Json shorter = parse(R"({
+        "machines": {"CVAX": {"counters": {"loads": 1, "stores": 2}}},
+        "rates": [1.0]
+    })");
+    m = firstStructuralMismatch(old_doc, shorter);
+    ASSERT_TRUE(m.found);
+    EXPECT_EQ(m.path, "rates");
+    EXPECT_NE(m.description.find("array length 2 -> 1"),
+              std::string::npos)
+        << m.description;
 }
 
 } // namespace

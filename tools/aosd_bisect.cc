@@ -5,6 +5,8 @@
  *   aosd_bisect old.json new.json            # ranked explanation
  *   aosd_bisect --top 5 old.json new.json    # only the 5 biggest
  *   aosd_bisect --json out.json old.json new.json
+ *   aosd_bisect --db perfdb.jsonl --from <ref> --to <ref> \
+ *       [--doc counters]                     # any historical pair
  *
  * Both inputs must be the same kind of document:
  *   - counters.json pairs (aosd_counters --json): every
@@ -17,9 +19,17 @@
  *   - report.json pairs (aosd_report --json): no term decomposition
  *     exists, so the ranking is per-figure.
  *
+ * The --db mode reads the pair from the perf database instead of
+ * live files: --from/--to take a record id, a commit (or unique
+ * prefix), 'latest' or -N, and --doc picks the stored document
+ * (default: counters when both records carry it, else
+ * kernel_windows, else report) — so any two historical runs can be
+ * bisected long after their CI artifacts expired.
+ *
  * This is an explainer, not a gate: exit 0 whether or not anything
  * moved (2 on usage or I/O error). CI runs it automatically when the
- * counters or report diff gate fails.
+ * counters or report diff gate fails, and on every aosd_trend check
+ * flag (which prints the exact --from/--to pair to use).
  */
 
 #include <cstdio>
@@ -30,6 +40,7 @@
 #include <string>
 
 #include "sim/json.hh"
+#include "sim/perfdb/perfdb.hh"
 #include "study/bisect.hh"
 
 using namespace aosd;
@@ -43,12 +54,19 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--top N] [--json path] old.json new.json\n"
+        "       %s [--top N] [--json path] --db perfdb.jsonl\n"
+        "          --from REF --to REF [--doc NAME]\n"
         "  --top N      print at most N findings (default 10,\n"
         "               0 = all)\n"
         "  --json path  also write the full ranked explanation as "
         "JSON\n"
+        "  --db path    read the pair from a perf database\n"
+        "  --from/--to  record id, commit (or unique prefix),\n"
+        "               'latest', or -N (N runs back)\n"
+        "  --doc NAME   stored document to bisect (default:\n"
+        "               counters, else kernel_windows, else report)\n"
         "accepts counters.json, kernel-windows or report.json pairs\n",
-        argv0);
+        argv0, argv0);
 }
 
 bool
@@ -89,6 +107,7 @@ main(int argc, char **argv)
 {
     std::size_t top = 10;
     std::string json_path;
+    std::string db_path, from_ref, to_ref, doc_name;
     const char *old_path = nullptr;
     const char *new_path = nullptr;
 
@@ -105,6 +124,14 @@ main(int argc, char **argv)
             top = static_cast<std::size_t>(std::atoi(value()));
         } else if (arg == "--json") {
             json_path = value();
+        } else if (arg == "--db") {
+            db_path = value();
+        } else if (arg == "--from") {
+            from_ref = value();
+        } else if (arg == "--to") {
+            to_ref = value();
+        } else if (arg == "--doc") {
+            doc_name = value();
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -117,14 +144,69 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (!old_path || !new_path) {
+
+    bool db_mode = !db_path.empty();
+    if (db_mode ? (old_path || from_ref.empty() || to_ref.empty())
+                : (!old_path || !new_path)) {
         usage(argv[0]);
         return 2;
     }
 
     Json old_doc, new_doc;
-    if (!loadJson(old_path, old_doc) || !loadJson(new_path, new_doc))
+    std::string pair_label;
+    if (db_mode) {
+        PerfDb db;
+        std::string error;
+        if (!db.load(db_path, &error)) {
+            std::fprintf(stderr, "%s: %s\n", db_path.c_str(),
+                         error.c_str());
+            return 2;
+        }
+        const PerfDbRecord *from = db.resolve(from_ref, &error);
+        if (!from) {
+            std::fprintf(stderr, "--from %s\n", error.c_str());
+            return 2;
+        }
+        const PerfDbRecord *to = db.resolve(to_ref, &error);
+        if (!to) {
+            std::fprintf(stderr, "--to %s\n", error.c_str());
+            return 2;
+        }
+        if (doc_name.empty()) {
+            // The richest shared document wins: counters cells carry
+            // pre-priced terms, report figures do not.
+            for (const char *candidate :
+                 {"counters", "kernel_windows", "report"}) {
+                if (from->doc(candidate) && to->doc(candidate)) {
+                    doc_name = candidate;
+                    break;
+                }
+            }
+            if (doc_name.empty()) {
+                std::fprintf(stderr,
+                             "records %s and %s share no counters/"
+                             "kernel_windows/report document\n",
+                             from->id().c_str(), to->id().c_str());
+                return 2;
+            }
+        }
+        const Json *od = from->doc(doc_name);
+        const Json *nd = to->doc(doc_name);
+        if (!od || !nd) {
+            std::fprintf(stderr,
+                         "document '%s' is missing from %s\n",
+                         doc_name.c_str(),
+                         (od ? to->id() : from->id()).c_str());
+            return 2;
+        }
+        old_doc = *od;
+        new_doc = *nd;
+        pair_label = doc_name + " of " + from->id() + " -> " +
+                     to->id();
+    } else if (!loadJson(old_path, old_doc) ||
+               !loadJson(new_path, new_doc)) {
         return 2;
+    }
 
     BisectResult r = bisectDocs(old_doc, new_doc);
     const char *mode = docMode(new_doc);
@@ -139,6 +221,8 @@ main(int argc, char **argv)
         out << r.toJson().dump(1);
     }
 
+    if (!pair_label.empty())
+        std::printf("aosd_bisect: %s\n", pair_label.c_str());
     std::printf("aosd_bisect (%s): total move %+.1f cycles, "
                 "%zu finding(s)\n",
                 mode, r.totalDelta, r.findings.size());

@@ -16,6 +16,12 @@
  * paths; any pair differing beyond tolerance, and any path present on
  * only one side, is a regression.
  *
+ * When the two documents disagree in *shape* — a key that vanished, a
+ * sample array that changed length, an object that became a scalar —
+ * the summary also names the first structural mismatch by dotted
+ * path, so schema drift is diagnosable from one log line instead of
+ * from hundreds of MISSING/ADDED leaves.
+ *
  * Exit status: 0 all within tolerance, 1 regressions (each named on
  * stdout), 2 usage or I/O error.
  */
@@ -159,6 +165,14 @@ main(int argc, char **argv)
         std::printf("... %zu more regression(s) suppressed by "
                     "--top %zu\n",
                     suppressed, top);
+    StructuralMismatch shape =
+        firstStructuralMismatch(old_doc, new_doc);
+    if (shape.found)
+        std::printf("STRUCTURE  %s: %s (first structural "
+                    "mismatch)\n",
+                    shape.path.empty() ? "(root)"
+                                       : shape.path.c_str(),
+                    shape.description.c_str());
     std::printf("%zu path(s) compared, %zu regression(s) "
                 "(rel tol %g, abs tol %g)\n",
                 diff.compared, diff.regressions, rel_tol, abs_tol);
