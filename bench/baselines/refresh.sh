@@ -8,8 +8,8 @@
 #
 # What it does:
 #   1. Runs aosd_report / aosd_counters (plain and --kernel-windows)
-#      on the current tree. These documents are deterministic — any
-#      machine produces the same bytes.
+#      and aosd_spans on the current tree. These documents are
+#      deterministic — any machine produces the same bytes.
 #   2. Runs the simperf benchmark suite twice (predecode on and off)
 #      and folds the two into BENCH_predecode.json speedups. These
 #      numbers are wall-clock and machine-dependent; they seed the
@@ -38,10 +38,11 @@ echo "== reference documents"
 "$BUILD"/tools/aosd_counters --json "$TMP"/counters.json
 "$BUILD"/tools/aosd_counters --kernel-windows \
     --json "$TMP"/kernel_windows.json
+"$BUILD"/tools/aosd_spans --json "$TMP"/spans.json
 
 echo "== benchmarks (predecode on)"
 "$BUILD"/bench/simperf \
-    --benchmark_filter='BM_ReportFull|BM_WorkloadRun|BM_HandlerExecution|BM_TlbLookup|BM_LrpcSimulation' \
+    --benchmark_filter='BM_ReportFull|BM_WorkloadRun|BM_HandlerExecution|BM_TlbLookup|BM_LrpcSimulation|BM_PrimitiveSpanTraced' \
     --benchmark_out="$OUT"/BENCH_simperf.json \
     --benchmark_out_format=json
 
@@ -95,6 +96,7 @@ for entry in $COMMITS; do
         --report "$TMP"/report.json \
         --counters "$TMP"/counters.json \
         --kernel-windows "$TMP"/kernel_windows.json \
+        --spans "$TMP"/spans.json \
         $BENCH_ARGS
 done
 

@@ -10,6 +10,7 @@
 #include "core/aosd.hh"
 #include "sim/counters/counters.hh"
 #include "sim/parallel/parallel_runner.hh"
+#include "sim/spantrace/spantrace.hh"
 #include "study/report.hh"
 
 using namespace aosd;
@@ -121,6 +122,37 @@ BM_HandlerExecutionTraced(benchmark::State &state)
     Tracer::instance().clear();
 }
 BENCHMARK(BM_HandlerExecutionTraced);
+
+void
+BM_PrimitiveSpanTraced(benchmark::State &state)
+{
+    // A full span-traced request around one kernel primitive: the
+    // begin/end bookkeeping, the RAII scope inside syscall() and the
+    // per-phase leaves. With spantrace off, every hook is a single
+    // thread-local flag test (spdetail::on), so comparing the plain
+    // kernel benchmarks across builds with/without
+    // -DAOSD_DISABLE_SPANTRACE bounds the disabled cost (CI gates
+    // that below 3%).
+    MachineDesc m = makeMachine(MachineId::R3000);
+    SimKernel kernel(m);
+    AddressSpace &app = kernel.createSpace("app");
+    kernel.contextSwitchTo(app);
+    HwCounters::instance().enable();
+    // Small capacity: steady state exercises the drop path too, so
+    // memory stays bounded however long the benchmark runs.
+    SpanTracer::instance().enable(64);
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        SpanTracer::instance().beginRequest("null_syscall", id++,
+                                            kernel.elapsedCycles());
+        kernel.syscall();
+        SpanTracer::instance().endRequest(kernel.elapsedCycles());
+    }
+    SpanTracer::instance().take();
+    HwCounters::instance().disable();
+    HwCounters::instance().reset();
+}
+BENCHMARK(BM_PrimitiveSpanTraced);
 
 void
 BM_TlbLookup(benchmark::State &state)

@@ -5,6 +5,7 @@
 #include "sim/counters/counters.hh"
 #include "sim/logging.hh"
 #include "sim/profile/profile.hh"
+#include "sim/spantrace/spantrace.hh"
 #include "sim/trace.hh"
 
 namespace aosd
@@ -250,6 +251,7 @@ ExecModel::run(const HandlerProgram &program)
         PhaseResult pr = runStream(phase.code, now);
         pr.kind = phase.kind;
         now += pr.cycles;
+        spanLeaf(phaseSlug(pr.kind), pr.cycles);
         if (tracerEnabled())
             Tracer::instance().completeHere(pr.cycles,
                                             TraceEvent::ExecPhase,
@@ -294,6 +296,7 @@ ExecModel::runDecoded(const DecodedProgram &dec)
         }
         now += dp.tailCycles;
         pr.cycles = now - start;
+        spanLeaf(phaseSlug(dp.kind), pr.cycles);
         if (countersEnabled())
             for (const auto &[c, n] : dp.constCounters)
                 countEvent(c, n);

@@ -4,6 +4,7 @@
 #include "mem/cache.hh"
 #include "sim/counters/counters.hh"
 #include "sim/profile/profile.hh"
+#include "sim/spantrace/spantrace.hh"
 #include "sim/trace.hh"
 
 namespace aosd
@@ -21,8 +22,10 @@ simulateTlbMisses(const MachineDesc &desc, const LrpcConfig &cfg,
                   unsigned round_trips)
 {
     // A helper simulation inside an analytic model: its charges must
-    // not leak into the caller's attribution tree.
+    // not leak into the caller's attribution tree or nest phantom
+    // spans into an open request.
     ProfPause pause;
+    SpanPause spause;
     SimKernel kernel(desc);
     AddressSpace &client = kernel.createSpace("client");
     AddressSpace &server = kernel.createSpace("server");
@@ -105,6 +108,17 @@ LrpcModel::nullCall() const
         prof.addLeafCycles("context_switch", cyc(b.contextSwitchUs));
         prof.addLeafCycles("tlb_refill", cyc(b.tlbMissUs));
         prof.addLeafCycles("arg_copy", cyc(b.argCopyUs));
+    }
+
+    // Same components as one span group for an open traced request.
+    if (spantraceEnabled()) {
+        SpanGroup span("lrpc");
+        spanLeaf("stubs", cyc(b.stubUs));
+        spanLeaf("kernel_entry", cyc(b.kernelEntryUs));
+        spanLeaf("validation", cyc(b.validationUs));
+        spanLeaf("context_switch", cyc(b.contextSwitchUs));
+        spanLeaf("tlb_refill", cyc(b.tlbMissUs));
+        spanLeaf("arg_copy", cyc(b.argCopyUs));
     }
 
     // Lay the components on the trace timeline in call order.

@@ -4,6 +4,7 @@
 #include "mem/cache.hh"
 #include "os/ipc/message.hh"
 #include "sim/counters/counters.hh"
+#include "sim/spantrace/spantrace.hh"
 #include "sim/trace.hh"
 
 namespace aosd
@@ -123,6 +124,24 @@ SrcRpcModel::roundTrip(std::uint32_t arg_bytes,
                         "rpc_server_stub", result_bytes);
         tr.completeHere(cyc(b.dispatchUs), TraceEvent::RpcPhase,
                         "rpc_dispatch");
+    }
+
+    // Same components as one span group for an open traced request,
+    // in wire order.
+    if (spantraceEnabled()) {
+        auto cyc = [&](double micros) {
+            return clk.microsToCycles(micros);
+        };
+        SpanGroup span("rpc");
+        spanLeaf("client_stub", cyc(b.clientStubUs));
+        spanLeaf("kernel_transfer", cyc(b.kernelTransferUs));
+        spanLeaf("copy", cyc(b.copyUs));
+        spanLeaf("checksum", cyc(b.checksumUs));
+        spanLeaf("controller", cyc(b.controllerUs));
+        spanLeaf("wire", cyc(b.wireUs));
+        spanLeaf("interrupts", cyc(b.interruptUs));
+        spanLeaf("server_stub", cyc(b.serverStubUs));
+        spanLeaf("dispatch", cyc(b.dispatchUs));
     }
 
     return b;

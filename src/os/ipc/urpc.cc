@@ -4,6 +4,7 @@
 #include "mem/cache.hh"
 #include "sim/counters/counters.hh"
 #include "sim/profile/profile.hh"
+#include "sim/spantrace/spantrace.hh"
 
 namespace aosd
 {
@@ -54,6 +55,18 @@ UrpcModel::nullCall() const
         prof.addLeafCycles("copy", cyc(b.copyUs));
         prof.addLeafCycles("thread_switch", cyc(b.threadSwitchUs));
         prof.addLeafCycles("reallocation", cyc(b.reallocationUs));
+    }
+
+    // Same components as one span group for an open traced request.
+    if (spantraceEnabled()) {
+        auto cyc = [&](double micros) {
+            return desc.clock.microsToCycles(micros);
+        };
+        SpanGroup span("urpc");
+        spanLeaf("locks", cyc(b.lockUs));
+        spanLeaf("copy", cyc(b.copyUs));
+        spanLeaf("thread_switch", cyc(b.threadSwitchUs));
+        spanLeaf("reallocation", cyc(b.reallocationUs));
     }
     return b;
 }

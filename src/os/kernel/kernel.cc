@@ -5,6 +5,7 @@
 #include "cpu/handlers.hh"
 #include "sim/counters/counters.hh"
 #include "sim/logging.hh"
+#include "sim/spantrace/spantrace.hh"
 #include "sim/trace.hh"
 
 namespace aosd
@@ -115,6 +116,13 @@ SimKernel::chargePrimitive(Primitive p)
             profileBreakdown(ph.breakdown);
         }
     }
+    // Same per-phase detail for an open request's span tree; the
+    // reference branch above gets equal leaves from ExecModel::run,
+    // so spans are byte-identical in both predecode modes.
+    if (spantraceEnabled()) {
+        for (const PhaseResult &ph : pc.detail.phases)
+            spanLeaf(phaseSlug(ph.kind), ph.cycles);
+    }
     cycleCount += pc.cycles;
     primCycles += pc.cycles;
 }
@@ -123,6 +131,7 @@ void
 SimKernel::syscall()
 {
     ProfScope prof("syscall");
+    SpanScope span("syscall", cycleCount);
     ++*statSyscalls;
     countEvent(HwCounter::KernelSyscalls);
     Cycles start = cycleCount;
@@ -136,6 +145,7 @@ void
 SimKernel::trap()
 {
     ProfScope prof("trap");
+    SpanScope span("trap", cycleCount);
     ++*statTraps;
     countEvent(HwCounter::KernelTraps);
     Cycles start = cycleCount;
@@ -152,6 +162,7 @@ void
 SimKernel::pteChange(AddressSpace &space, Vpn vpn, PageProt prot)
 {
     ProfScope prof("pte_change");
+    SpanScope span("pte_change", cycleCount);
     ++*statPteChanges;
     countEvent(HwCounter::PteChanges);
     chargePrimitive(Primitive::PteChange);
@@ -171,6 +182,7 @@ SimKernel::contextSwitchTo(AddressSpace &target)
     if (&target == &from)
         return;
     ProfScope prof("context_switch");
+    SpanScope span("context_switch", cycleCount);
     ++*statAddrSpaceSwitches;
     countEvent(HwCounter::ContextSwitches);
     // An address-space switch implies a thread switch (Table 7 note).
@@ -190,6 +202,7 @@ SimKernel::contextSwitchTo(AddressSpace &target)
         countEvent(HwCounter::TlbPurgeCycles, purge);
         if (profilerEnabled())
             Profiler::instance().addLeafCycles("tlb_purge", purge);
+        spanLeaf("tlb_purge", purge);
     }
 
     bool cache_tagged = !desc.cache.flushOnContextSwitch;
@@ -200,6 +213,7 @@ SimKernel::contextSwitchTo(AddressSpace &target)
         countEvent(HwCounter::CacheFlushCycles, flush);
         if (profilerEnabled())
             Profiler::instance().addLeafCycles("cache_flush", flush);
+        spanLeaf("cache_flush", flush);
     }
 
     for (std::size_t i = 0; i < spaces.size(); ++i) {
@@ -221,6 +235,7 @@ void
 SimKernel::threadSwitch()
 {
     ProfScope prof("thread_switch");
+    SpanScope span("thread_switch", cycleCount);
     ++*statThreadSwitches;
     countEvent(HwCounter::ThreadSwitches);
     Cycles start = cycleCount;
@@ -260,6 +275,7 @@ SimKernel::emulateInstructions(std::uint64_t n)
     primCycles += c;
     if (profilerEnabled())
         Profiler::instance().addLeafCycles("emulate_instr", c);
+    spanLeaf("emulate_instr", c);
 }
 
 void
@@ -288,12 +304,14 @@ SimKernel::emulateTestAndSet()
     primCycles += c;
     if (profilerEnabled())
         Profiler::instance().addLeafCycles("emulated_test_and_set", c);
+    spanLeaf("emulated_test_and_set", c);
 }
 
 void
 SimKernel::otherException()
 {
     ProfScope prof("exception");
+    SpanScope span("exception", cycleCount);
     ++*statOtherExceptions;
     countEvent(HwCounter::KernelTraps);
     Cycles start = cycleCount;
@@ -323,6 +341,7 @@ SimKernel::touchPages(const std::vector<Vpn> &pages, bool kernel_space)
     AddressSpace &space =
         kernel_space ? kernelSpace() : currentSpace();
     ProfScope prof("tlb_refill");
+    const Cycles span_start = cycleCount;
     const bool tracing = tracerEnabled();
     if (tracing)
         Tracer::instance().setCycle(cycleCount);
@@ -379,6 +398,8 @@ SimKernel::touchPages(const std::vector<Vpn> &pages, bool kernel_space)
             }
         }
     }
+    if (cycleCount > span_start)
+        spanLeaf("tlb_refill", cycleCount - span_start);
 }
 
 void

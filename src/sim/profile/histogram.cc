@@ -126,6 +126,7 @@ Histogram::toJson() const
     out.set("p50", Json(p50()));
     out.set("p90", Json(p90()));
     out.set("p99", Json(p99()));
+    out.set("p999", Json(p999()));
     return out;
 }
 

@@ -66,6 +66,7 @@ class Histogram
     double p50() const { return percentile(50.0); }
     double p90() const { return percentile(90.0); }
     double p99() const { return percentile(99.0); }
+    double p999() const { return percentile(99.9); }
 
     /** {"count":..,"sum":..,"min":..,"max":..,"p50":..,...}. */
     Json toJson() const;

@@ -100,7 +100,7 @@ CounterTimeSeries::toJson() const
     out.set("end_cycle", Json(endCycle));
     out.set("samples",
             Json(static_cast<std::uint64_t>(samples.size())));
-    out.set("dropped", Json(dropped));
+    out.set("dropped_samples", Json(dropped));
 
     Json cycles_arr = Json::array();
     for (const CounterSample &s : samples)

@@ -98,7 +98,7 @@ struct CounterTimeSeries
     bool empty() const { return samples.empty(); }
 
     /** {"interval_cycles":..,"start_cycle":..,"end_cycle":..,
-     *   "samples":N,"dropped":..,"cycles":[...],
+     *   "samples":N,"dropped_samples":..,"cycles":[...],
      *   "series":{"<rate>":[...],...}} — every series array has one
      *  element per sample, fixed series set, declaration order. */
     Json toJson() const;

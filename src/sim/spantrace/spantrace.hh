@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Request-scoped span tracing.
+ *
+ * The profiler (sim/profile) aggregates cycles by *place* — every
+ * syscall's kernel_entry cycles land in one tree node — which answers
+ * "where does the mean go" but not "why was this particular request
+ * slow". This layer keeps the per-invocation view: each primitive
+ * invocation opens a span carrying a request id, nests child spans for
+ * its phases (dispatch, kernel entry, handler execution, write-buffer
+ * drain, TLB refill), and records per-span simulated-cycle duration
+ * plus the CounterSet delta across the span. study/span_report turns a
+ * session's requests into latency percentiles, top-K slowest-request
+ * exemplars (full tree + counter deltas) and a tail-vs-median
+ * attribution priced with the reconcile layer's constants.
+ *
+ * Tracing is off by default; a disabled hook costs one non-atomic
+ * thread-local load and a branch (the profdetail::on pattern —
+ * spdetail::on is true only while a request is open inside an armed
+ * session, so idle hooks never take the slow path). Configure with
+ * -DAOSD_DISABLE_SPANTRACE=ON to compile the hooks out entirely (used
+ * to bound the disabled-but-compiled-in overhead; see EXPERIMENTS.md).
+ *
+ * Tracer state is per thread: each simulation slice (see
+ * sim/parallel/parallel_runner.hh) traces into its own session, and
+ * shard sessions combine with SpanSession::merge() in task-index
+ * order, so `--jobs N` output is byte-identical.
+ */
+
+#ifndef AOSD_SIM_SPANTRACE_SPANTRACE_HH
+#define AOSD_SIM_SPANTRACE_SPANTRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/counters/counters.hh"
+#include "sim/json.hh"
+#include "sim/profile/histogram.hh"
+#include "sim/ticks.hh"
+
+namespace aosd
+{
+
+namespace spdetail
+{
+/** The tracer's in-request flag. Namespace-scope and thread-local for
+ *  the same reason as profdetail::on: the disabled fast path in the
+ *  simulator's hot loops is one non-atomic load and a branch. True
+ *  only between beginRequest() and endRequest() of an armed session,
+ *  so hooks outside any request cost the same as a disabled build. */
+extern thread_local bool on;
+} // namespace spdetail
+
+/** Cheapest possible "is a traced request open?" check for hot
+ *  paths. */
+inline bool
+spantraceEnabled()
+{
+#ifndef AOSD_SPANTRACE_DISABLED
+    return spdetail::on;
+#else
+    return false;
+#endif
+}
+
+/** One span of a request's tree. Unlike ProfNode, children are not
+ *  merged by name: every push appends a new node, so the tree is the
+ *  literal invocation sequence of one request. */
+struct SpanNode
+{
+    std::string name;
+    /** Inclusive simulated-cycle duration of the span. */
+    Cycles cycles = 0;
+    /** Counter events observed during the span (zero for leaves,
+     *  which carry a duration only). */
+    CounterSet counters;
+    std::vector<SpanNode> children;
+
+    /** {"name":..,"cycles":..[,"counters":{only-nonzero}]
+     *   [,"spans":[children]]} — counters and children omitted when
+     *  empty so exemplar trees stay compact. */
+    Json toJson() const;
+};
+
+/** One completed request: its id and full span tree. The root span's
+ *  name is the primitive, its cycles the request latency. */
+struct SpanRequest
+{
+    std::uint64_t id = 0;
+    SpanNode root;
+};
+
+/**
+ * Everything one tracer collected: per-request-name latency
+ * histograms (first-seen order), the retained request trees, and how
+ * many completed requests were dropped once `capacity` trees were
+ * retained (their latencies still land in the histograms).
+ */
+struct SpanSession
+{
+    std::vector<std::pair<std::string, Histogram>> hists;
+    std::vector<SpanRequest> requests;
+    std::uint64_t dropped = 0;
+
+    const Histogram *find(const std::string &name) const;
+
+    /** Fold another shard's session into this one: histograms merge
+     *  by name (unmatched names append in the other's order),
+     *  requests append after ours, dropped counts sum. Associative
+     *  with the empty session as identity, so merging parallel slices
+     *  in task-index order is well defined. */
+    void merge(const SpanSession &other);
+};
+
+/**
+ * The calling thread's span tracer (per-thread, one per simulation
+ * slice). enable(capacity) arms it; beginRequest()/endRequest()
+ * bracket one primitive invocation; SpanScope/SpanGroup/spanLeaf()
+ * nest phases inside the open request.
+ */
+class SpanTracer
+{
+  public:
+    static SpanTracer &instance();
+
+    /** Drop any previous session and arm the tracer. Up to `capacity`
+     *  request trees are retained; later requests only feed the
+     *  histograms and bump dropped. */
+    void enable(std::size_t capacity);
+
+    /** Disarm (an open request is abandoned unrecorded). The session
+     *  remains readable via take(). */
+    void disable();
+
+    bool armed() const { return armed_; }
+
+    /** Open a request span. No-op unless armed; must not be called
+     *  with a request already open (the open request is closed at
+     *  `now` first, keeping the session well formed). */
+    void beginRequest(const char *name, std::uint64_t id, Cycles now);
+
+    /** Close the request (and any spans left open inside it) at
+     *  `now`, sample its latency histogram and retain its tree if
+     *  under capacity. */
+    void endRequest(Cycles now);
+
+    /** Open a child span at `now`. Returns the node (null when no
+     *  request is open). */
+    SpanNode *push(const char *name, Cycles now);
+
+    /** Close span `node` at `now` (closing any of its still-open
+     *  children first). Ignored when `gen` is stale — the request
+     *  that owned the node has already ended. */
+    void pop(SpanNode *node, Cycles now, std::uint64_t gen);
+
+    /** Open a child span whose duration will be the sum of its
+     *  children (for analytic models that add component costs rather
+     *  than advance a clock). */
+    SpanNode *pushGroup(const char *name);
+
+    /** Close the innermost group span. */
+    void popGroup(SpanNode *node, std::uint64_t gen);
+
+    /** Append a closed leaf span of `cycles` under the current
+     *  span. */
+    void leaf(const char *name, Cycles cycles);
+
+    std::uint64_t generation() const { return gen_; }
+
+    /** Move the session out (tracer left disarmed and empty). */
+    SpanSession take();
+
+  private:
+    SpanTracer() = default;
+
+    struct Open
+    {
+        SpanNode *node;
+        Cycles start;
+        CounterSet counters;
+        bool group;
+    };
+
+    void closeTop(Cycles now);
+
+    bool armed_ = false;
+    std::uint64_t gen_ = 0; ///< bumped by enable/begin/endRequest
+    std::size_t capacity_ = 0;
+    std::uint64_t requestId_ = 0;
+    SpanNode requestRoot_;
+    std::vector<Open> stack_; ///< open spans, outermost first
+    SpanSession session_;
+};
+
+/**
+ * RAII phase span: opens a named child span for its lifetime, reading
+ * the referenced simulated-cycle clock at entry and exit. `name` must
+ * outlive the scope (string literals in practice); `clock` is the
+ * owning component's cycle counter (e.g. SimKernel's).
+ */
+class SpanScope
+{
+  public:
+    SpanScope(const char *name, const Cycles &clock)
+    {
+#ifndef AOSD_SPANTRACE_DISABLED
+        if (!spdetail::on)
+            return;
+        SpanTracer &t = SpanTracer::instance();
+        clock_ = &clock;
+        gen_ = t.generation();
+        node_ = t.push(name, clock);
+#else
+        (void)name;
+        (void)clock;
+#endif
+    }
+
+    ~SpanScope()
+    {
+#ifndef AOSD_SPANTRACE_DISABLED
+        if (node_)
+            SpanTracer::instance().pop(node_, *clock_, gen_);
+#endif
+    }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+  private:
+    SpanNode *node_ = nullptr;
+    const Cycles *clock_ = nullptr;
+    std::uint64_t gen_ = 0;
+};
+
+/**
+ * RAII group span: duration is the sum of the child spans recorded
+ * inside it. Used by the analytic IPC models (rpc/lrpc/urpc), which
+ * sum component costs instead of advancing a kernel clock.
+ */
+class SpanGroup
+{
+  public:
+    explicit SpanGroup(const char *name)
+    {
+#ifndef AOSD_SPANTRACE_DISABLED
+        if (!spdetail::on)
+            return;
+        SpanTracer &t = SpanTracer::instance();
+        gen_ = t.generation();
+        node_ = t.pushGroup(name);
+#else
+        (void)name;
+#endif
+    }
+
+    ~SpanGroup()
+    {
+#ifndef AOSD_SPANTRACE_DISABLED
+        if (node_)
+            SpanTracer::instance().popGroup(node_, gen_);
+#endif
+    }
+
+    SpanGroup(const SpanGroup &) = delete;
+    SpanGroup &operator=(const SpanGroup &) = delete;
+
+  private:
+    SpanNode *node_ = nullptr;
+    std::uint64_t gen_ = 0;
+};
+
+/**
+ * RAII tracing pause: helper simulations inside analytic models (the
+ * LRPC steady-state TLB warm-up) run under one of these so their
+ * kernel hooks don't nest phantom spans into the caller's open
+ * request (the ProfPause analog).
+ */
+class SpanPause
+{
+  public:
+    SpanPause() : was_(spdetail::on) { spdetail::on = false; }
+    ~SpanPause() { spdetail::on = was_; }
+    SpanPause(const SpanPause &) = delete;
+    SpanPause &operator=(const SpanPause &) = delete;
+
+  private:
+    bool was_;
+};
+
+/** Record a closed leaf span of `cycles` under the current span. */
+inline void
+spanLeaf(const char *name, Cycles cycles)
+{
+#ifndef AOSD_SPANTRACE_DISABLED
+    if (spdetail::on)
+        SpanTracer::instance().leaf(name, cycles);
+#else
+    (void)name;
+    (void)cycles;
+#endif
+}
+
+} // namespace aosd
+
+#endif // AOSD_SIM_SPANTRACE_SPANTRACE_HH

@@ -113,6 +113,27 @@ findMismatch(const Json &oldNode, const Json &newNode,
     return false; // same-kind scalars differ in value, not shape
 }
 
+/** The leaf key of a dotted path ("a.b.p99" -> "p99"). */
+std::string
+lastSegment(const std::string &path)
+{
+    std::size_t dot = path.rfind('.');
+    return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+double
+tolForPath(const std::string &path, double rel_tol,
+           const KeyTolerances &key_tols)
+{
+    if (key_tols.empty())
+        return rel_tol;
+    std::string key = lastSegment(path);
+    for (const auto &[k, tol] : key_tols)
+        if (k == key)
+            return tol;
+    return rel_tol;
+}
+
 } // namespace
 
 std::vector<PerfLeaf>
@@ -125,7 +146,7 @@ flattenNumericLeaves(const Json &doc)
 
 PerfDiff
 diffPerfDocs(const Json &old_doc, const Json &new_doc, double rel_tol,
-             double abs_tol)
+             double abs_tol, const KeyTolerances &key_tols)
 {
     std::vector<PerfLeaf> old_leaves = flattenNumericLeaves(old_doc);
     std::vector<PerfLeaf> new_leaves = flattenNumericLeaves(new_doc);
@@ -155,7 +176,8 @@ diffPerfDocs(const Json &old_doc, const Json &new_doc, double rel_tol,
         double abs_delta = std::fabs(d.newValue - d.oldValue);
         d.relDelta = denom > 0 ? abs_delta / denom : 0;
         bool within =
-            abs_delta <= abs_tol || d.relDelta <= rel_tol;
+            abs_delta <= abs_tol ||
+            d.relDelta <= tolForPath(leaf.path, rel_tol, key_tols);
         d.kind = within ? PerfDelta::Kind::Within
                         : PerfDelta::Kind::Changed;
         if (!within)

@@ -65,13 +65,22 @@ struct PerfDiff
  */
 std::vector<PerfLeaf> flattenNumericLeaves(const Json &doc);
 
+/** A per-key relative-tolerance override: applies to every path whose
+ *  last dotted segment equals `key` ("p999" matches
+ *  "machines.R3000.trap.cycles.p999"). */
+using KeyTolerances = std::vector<std::pair<std::string, double>>;
+
 /**
  * Compare two documents leaf by leaf. A pair of values differs when
  * |new - old| > abs_tol and the relative delta exceeds rel_tol; paths
- * present on one side only always count as regressions.
+ * present on one side only always count as regressions. `key_tols`
+ * overrides rel_tol per leaf key — the first matching entry wins —
+ * so one noisy figure class (p999 of a 1000-sample histogram, say)
+ * can run with a wider band than the rest of the document.
  */
 PerfDiff diffPerfDocs(const Json &old_doc, const Json &new_doc,
-                      double rel_tol, double abs_tol = 1e-9);
+                      double rel_tol, double abs_tol = 1e-9,
+                      const KeyTolerances &key_tols = {});
 
 /** The first place two documents disagree in *shape*. */
 struct StructuralMismatch

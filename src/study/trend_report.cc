@@ -19,7 +19,8 @@ isMetadataKey(const std::string &key)
     return key == "schema_version" || key == "generator" ||
            key == "paper" || key == "machine" ||
            key == "machine_count" || key == "repetitions" ||
-           key == "references" || key == "target_samples";
+           key == "references" || key == "target_samples" ||
+           key == "requests_per_pair" || key == "top_k";
 }
 
 /** Flatten `doc` under `prefix`, skipping top-level metadata keys. */
@@ -76,6 +77,33 @@ flattenReportDoc(const Json &doc, std::vector<PerfLeaf> &out)
             leaf.path = "report.summary." + leaf.path;
             out.push_back(std::move(leaf));
         }
+}
+
+/**
+ * spans.json minus the per-request span trees: exemplars (and the
+ * `spans` trees inside the ipc section) are shapes to look at, not
+ * figures to band, and they would bloat every record. Percentiles,
+ * drop counts and the tail-attribution numbers stay.
+ */
+Json
+spansDigest(const Json &doc)
+{
+    if (doc.isObject()) {
+        Json out = Json::object();
+        for (const auto &[key, value] : doc.items()) {
+            if (key == "exemplars" || key == "spans")
+                continue;
+            out.set(key, spansDigest(value));
+        }
+        return out;
+    }
+    if (doc.isArray()) {
+        Json out = Json::array();
+        for (std::size_t i = 0; i < doc.size(); ++i)
+            out.push(spansDigest(doc.at(i)));
+        return out;
+    }
+    return doc;
 }
 
 double
@@ -242,6 +270,8 @@ buildPerfDbRecord(const std::string &commit,
     if (in.timeseries)
         docs.set("timeseries_summary",
                  summarizeNumericArrays(*in.timeseries));
+    if (in.spans)
+        docs.set("spans", spansDigest(*in.spans));
     if (!in.bench.empty()) {
         Json bench = Json::object();
         for (const auto &[suite, doc] : in.bench) {
@@ -305,6 +335,8 @@ recordMetrics(const PerfDbRecord &rec)
         flattenDoc(*profile, "profile.", out);
     if (const Json *ts = rec.doc("timeseries_summary"))
         flattenDoc(*ts, "timeseries.", out);
+    if (const Json *spans = rec.doc("spans"))
+        flattenDoc(*spans, "spans.", out);
     for (const std::string &name : rec.docNames()) {
         if (name.rfind("bench.", 0) != 0)
             continue;

@@ -15,6 +15,7 @@
  *   kernel_windows.spellcheck_1.mach25.reconciliation.actual_cycles
  *   profile.machines.R3000.null_syscall.cycles_per_call
  *   timeseries.table7.cells.spellcheck_1.mach25.timeseries.cycles.mean
+ *   spans.machines.R3000.null_syscall.cycles.p99
  *   bench.simperf.BM_ReportFull/real_time.real_time
  *
  * A metric's series is its value in every record that carries it,
@@ -52,6 +53,9 @@ struct PerfDbRecordInputs
     const Json *profile = nullptr;
     /** Raw timeseries.json; stored as a per-series digest. */
     const Json *timeseries = nullptr;
+    /** Raw spans.json; stored with the exemplar span trees stripped
+     *  so the record keeps the percentile and attribution figures. */
+    const Json *spans = nullptr;
     /** (suite name, google-benchmark document) pairs. */
     std::vector<std::pair<std::string, const Json *>> bench;
 };

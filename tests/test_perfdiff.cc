@@ -125,6 +125,36 @@ TEST(PerfDiff, MissingAndAddedPathsAreRegressions)
     EXPECT_TRUE(saw_added);
 }
 
+TEST(PerfDiff, PerKeyToleranceOverridesTheGlobalBand)
+{
+    // p999 of a small-sample histogram earns a wider band than the
+    // rest of the document; the override keys on the leaf segment.
+    Json old_doc =
+        parse(R"({"cell": {"p50": 100, "p999": 100}, "p999": 100})");
+    Json new_doc =
+        parse(R"({"cell": {"p50": 100, "p999": 108}, "p999": 108})");
+
+    // Global 1%: both p999 leaves regress.
+    EXPECT_EQ(diffPerfDocs(old_doc, new_doc, 0.01).regressions, 2u);
+
+    // Override p999 to 10%: clean, at depth and at the root.
+    KeyTolerances tols = {{"p999", 0.10}};
+    PerfDiff diff = diffPerfDocs(old_doc, new_doc, 0.01, 1e-9, tols);
+    EXPECT_TRUE(diff.ok());
+    EXPECT_EQ(diff.compared, 3u);
+
+    // The override is scoped to its key: p50 keeps the global band.
+    Json p50_moved =
+        parse(R"({"cell": {"p50": 108, "p999": 100}, "p999": 100})");
+    EXPECT_FALSE(
+        diffPerfDocs(old_doc, p50_moved, 0.01, 1e-9, tols).ok());
+
+    // First matching entry wins.
+    KeyTolerances stacked = {{"p999", 0.10}, {"p999", 0.0001}};
+    EXPECT_TRUE(
+        diffPerfDocs(old_doc, new_doc, 0.01, 1e-9, stacked).ok());
+}
+
 TEST(PerfDiff, GoldenProfileDiffsCleanAgainstItself)
 {
     Json golden = loadGoldenProfile();

@@ -125,6 +125,22 @@ TEST_F(SamplingTest, RingDropsOldestWhenFull)
     EXPECT_EQ(ts.samples.back().cycle, 100u);
 }
 
+TEST_F(SamplingTest, OverflowSurfacesDroppedSamplesInJson)
+{
+    HwCounters::instance().enable();
+    CounterSampler &s = CounterSampler::instance();
+    // Capacity 4 with 10 due samples: the ring must overflow.
+    s.begin({10, 4});
+    for (Cycles now = 10; now <= 100; now += 10)
+        s.tick(now);
+    s.finish(100);
+
+    Json j = s.series().toJson();
+    ASSERT_TRUE(j.has("dropped_samples"));
+    EXPECT_EQ(j.at("dropped_samples").asUint(), 6u);
+    EXPECT_EQ(j.at("samples").asUint(), 4u);
+}
+
 TEST_F(SamplingTest, SeriesJsonShape)
 {
     HwCounters::instance().enable();

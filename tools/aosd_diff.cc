@@ -5,6 +5,9 @@
  *   aosd_diff old.json new.json            # default 1% tolerance
  *   aosd_diff --tol 0.05 old.json new.json # 5% relative tolerance
  *   aosd_diff --abs 0.5 old.json new.json  # ignore tiny absolute moves
+ *   aosd_diff --tol-key 'p999=0.10' old.json new.json
+ *                                          # wider band for one leaf
+ *                                          # key (repeatable)
  *   aosd_diff --all old.json new.json      # also list unchanged paths
  *   aosd_diff --top 20 old.json new.json   # cap printed regressions
  *
@@ -45,11 +48,15 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--tol REL] [--abs ABS] [--all] [--top N] "
-        "old.json new.json\n"
+        "usage: %s [--tol REL] [--abs ABS] [--tol-key KEY=REL]...\n"
+        "          [--all] [--top N] old.json new.json\n"
         "  --tol REL  relative tolerance (default 0.01 = 1%%)\n"
         "  --abs ABS  absolute slack for near-zero values "
         "(default 1e-9)\n"
+        "  --tol-key KEY=REL\n"
+        "             relative tolerance for leaves whose last dotted\n"
+        "             segment is KEY (e.g. 'p999=0.10'; repeatable;\n"
+        "             first match wins)\n"
         "  --all      also print paths within tolerance\n"
         "  --top N    print at most N regressions (0 = all, the "
         "default)\n",
@@ -82,6 +89,7 @@ main(int argc, char **argv)
 {
     double rel_tol = 0.01;
     double abs_tol = 1e-9;
+    KeyTolerances key_tols;
     bool show_all = false;
     std::size_t top = 0;
     const char *old_path = nullptr;
@@ -100,6 +108,18 @@ main(int argc, char **argv)
             rel_tol = std::atof(value());
         } else if (arg == "--abs") {
             abs_tol = std::atof(value());
+        } else if (arg == "--tol-key") {
+            std::string spec = value();
+            std::size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 >= spec.size()) {
+                std::fprintf(stderr,
+                             "--tol-key wants KEY=REL, got '%s'\n",
+                             spec.c_str());
+                return 2;
+            }
+            key_tols.emplace_back(spec.substr(0, eq),
+                                  std::atof(spec.c_str() + eq + 1));
         } else if (arg == "--all") {
             show_all = true;
         } else if (arg == "--top") {
@@ -125,7 +145,8 @@ main(int argc, char **argv)
     if (!loadJson(old_path, old_doc) || !loadJson(new_path, new_doc))
         return 2;
 
-    PerfDiff diff = diffPerfDocs(old_doc, new_doc, rel_tol, abs_tol);
+    PerfDiff diff =
+        diffPerfDocs(old_doc, new_doc, rel_tol, abs_tol, key_tols);
 
     std::size_t printed = 0;
     std::size_t suppressed = 0;

@@ -15,6 +15,9 @@
  *                                    # also sample the long-running
  *                                    # workloads into per-interval
  *                                    # event-rate series
+ *   aosd_report --spans spans.json   # also span-trace the request
+ *                                    # study (latency percentiles +
+ *                                    # tail attribution)
  *
  * The report covers Tables 1-7 plus the paper's headline prose
  * figures; every entry carries the simulated value, the paper's value
@@ -41,6 +44,7 @@
 #include "sim/trace.hh"
 #include "study/figures.hh"
 #include "study/report.hh"
+#include "study/span_report.hh"
 #include "study/timeseries_report.hh"
 
 using namespace aosd;
@@ -54,7 +58,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--json [path]] [--trace path] [--stats path]\n"
-        "          [--timeseries path] [--jobs N] [--no-predecode]\n"
+        "          [--timeseries path] [--spans path] [--jobs N]\n"
+        "          [--no-predecode]\n"
         "  --json [path]  write report.json (stdout when no path)\n"
         "  --trace path   write a chrome://tracing timeline\n"
         "                 (forces --jobs 1)\n"
@@ -62,6 +67,9 @@ usage(const char *argv0)
         "  --timeseries path\n"
         "                 sample the workloads and write\n"
         "                 timeseries.json (per-interval event rates)\n"
+        "  --spans path   span-trace the request study and write\n"
+        "                 spans.json (latency percentiles, slowest-\n"
+        "                 request exemplars, tail attribution)\n"
         "  --jobs N       worker threads (default: all cores;\n"
         "                 1 = serial; report is identical either "
         "way)\n"
@@ -132,6 +140,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string stats_path;
     std::string timeseries_path;
+    std::string spans_path;
     unsigned jobs = ParallelRunner::defaultJobs();
 
     for (int i = 1; i < argc; ++i) {
@@ -156,6 +165,9 @@ main(int argc, char **argv)
                 return 2;
         } else if (arg == "--timeseries") {
             if (!takesValue(timeseries_path))
+                return 2;
+        } else if (arg == "--spans") {
+            if (!takesValue(spans_path))
                 return 2;
         } else if (arg == "--jobs") {
             std::string jobs_arg;
@@ -198,6 +210,13 @@ main(int argc, char **argv)
             return 1;
         std::fprintf(stderr, "timeseries -> %s\n",
                      timeseries_path.c_str());
+    }
+
+    if (!spans_path.empty()) {
+        Json spans = buildSpansDoc(runner);
+        if (!writeFile(spans_path, spans.dump(1)))
+            return 1;
+        std::fprintf(stderr, "spans -> %s\n", spans_path.c_str());
     }
 
     if (!trace_path.empty()) {

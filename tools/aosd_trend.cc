@@ -8,7 +8,8 @@
  *       --time 2026-08-09T12:00:00Z --host ci --flags gcc-Rel \
  *       --report report.json --counters counters.json \
  *       --kernel-windows kernel_windows.json --profile profile.json \
- *       --timeseries timeseries.json --bench simperf=BENCH.json
+ *       --timeseries timeseries.json --spans spans.json \
+ *       --bench simperf=BENCH.json
  *   aosd_trend list --db perfdb.jsonl
  *   aosd_trend metrics --db perfdb.jsonl --filter counters.SPARC
  *   aosd_trend query --db perfdb.jsonl \
@@ -54,7 +55,7 @@ usage(const char *argv0)
         "  ingest   append one run's artifacts as a record\n"
         "           --commit C --time T [--host H] [--flags F]\n"
         "           [--report f] [--counters f] [--kernel-windows f]\n"
-        "           [--profile f] [--timeseries f]\n"
+        "           [--profile f] [--timeseries f] [--spans f]\n"
         "           [--bench suite=f]... [--replace]\n"
         "  list     one line per record (--json for the metadata)\n"
         "  metrics  every metric path ([--filter S] substring list)\n"
@@ -129,7 +130,8 @@ struct Args
     std::string time;
     std::string host = "unknown";
     std::string flags = "unknown";
-    std::string report, counters, kernelWindows, profile, timeseries;
+    std::string report, counters, kernelWindows, profile, timeseries,
+        spans;
     std::vector<std::pair<std::string, std::string>> bench;
     bool replace = false;
     std::string metric;
@@ -162,7 +164,7 @@ cmdIngest(const Args &a)
         return 2;
     }
 
-    Json report, counters, kw, profile, timeseries;
+    Json report, counters, kw, profile, timeseries, spans;
     std::vector<Json> bench_docs(a.bench.size());
     PerfDbRecordInputs in;
     if (!a.report.empty()) {
@@ -190,13 +192,19 @@ cmdIngest(const Args &a)
             return 2;
         in.timeseries = &timeseries;
     }
+    if (!a.spans.empty()) {
+        if (!loadJsonFile(a.spans, spans))
+            return 2;
+        in.spans = &spans;
+    }
     for (std::size_t i = 0; i < a.bench.size(); ++i) {
         if (!loadJsonFile(a.bench[i].second, bench_docs[i]))
             return 2;
         in.bench.emplace_back(a.bench[i].first, &bench_docs[i]);
     }
     if (!in.report && !in.counters && !in.kernelWindows &&
-        !in.profile && !in.timeseries && in.bench.empty()) {
+        !in.profile && !in.timeseries && !in.spans &&
+        in.bench.empty()) {
         std::fprintf(stderr,
                      "ingest: nothing to ingest (pass at least one "
                      "document)\n");
@@ -474,6 +482,8 @@ main(int argc, char **argv)
             a.profile = value();
         } else if (arg == "--timeseries") {
             a.timeseries = value();
+        } else if (arg == "--spans") {
+            a.spans = value();
         } else if (arg == "--bench") {
             std::string spec = value();
             std::size_t eq = spec.find('=');
