@@ -11,10 +11,11 @@
 #      and aosd_spans on the current tree. These documents are
 #      deterministic — any machine produces the same bytes.
 #   2. Runs the simperf benchmark suite twice (predecode on and off)
-#      and folds the two into BENCH_predecode.json speedups. These
-#      numbers are wall-clock and machine-dependent; they seed the
-#      bench trajectory and earn themselves MAD slack in the rolling
-#      band as real runs accumulate.
+#      and folds the two into BENCH_predecode.json speedups, plus the
+#      batched-vs-per-event charging ratio into BENCH_traffic.json.
+#      These numbers are wall-clock and machine-dependent; they seed
+#      the bench trajectory and earn themselves MAD slack in the
+#      rolling band as real runs accumulate.
 #   3. Rebuilds bench/baselines/perfdb.jsonl: one record per recent
 #      commit (oldest first, each keyed by the commit's own hash and
 #      committer date so `aosd_bisect --db --from <commit>` resolves),
@@ -39,10 +40,12 @@ echo "== reference documents"
 "$BUILD"/tools/aosd_counters --kernel-windows \
     --json "$TMP"/kernel_windows.json
 "$BUILD"/tools/aosd_spans --json "$TMP"/spans.json
+"$BUILD"/tools/aosd_traffic --json "$TMP"/traffic.json \
+    --min-explained 100
 
 echo "== benchmarks (predecode on)"
 "$BUILD"/bench/simperf \
-    --benchmark_filter='BM_ReportFull|BM_WorkloadRun|BM_HandlerExecution|BM_TlbLookup|BM_LrpcSimulation|BM_PrimitiveSpanTraced' \
+    --benchmark_filter='BM_ReportFull|BM_WorkloadRun|BM_HandlerExecution|BM_TlbLookup|BM_LrpcSimulation|BM_PrimitiveSpanTraced|BM_KernelWindow|BM_TrafficRun' \
     --benchmark_out="$OUT"/BENCH_simperf.json \
     --benchmark_out_format=json
 
@@ -76,6 +79,27 @@ for name in sorted(on):
 json.dump(doc, open(sys.argv[3], 'w'), indent=1)
 EOF
 
+echo "== fold batch-charging speedup"
+python3 - "$OUT"/BENCH_simperf.json "$OUT"/BENCH_traffic.json <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+bench = {b['name']: b for b in raw['benchmarks']}
+batched = bench['BM_KernelWindowBatched']
+per_event = bench['BM_KernelWindowPerEvent']
+doc = {
+    'schema_version': 1,
+    'generator': 'bench/baselines/refresh.sh',
+    'batched_events_per_sec': batched['events_per_sec'],
+    'per_event_events_per_sec': per_event['events_per_sec'],
+    'speedup': (batched['events_per_sec'] /
+                per_event['events_per_sec']),
+    'traffic_run_real_time': bench['BM_TrafficRun']['real_time'],
+    'time_unit': bench['BM_TrafficRun']['time_unit'],
+}
+json.dump(doc, open(sys.argv[2], 'w'), indent=1)
+EOF
+
 echo "== rebuild $OUT/perfdb.jsonl"
 rm -f "$OUT"/perfdb.jsonl
 COMMITS=$(git log --format='%H %cI' -3 | tac | awk '{print $1 "=" $2}')
@@ -85,7 +109,8 @@ for entry in $COMMITS; do
     when=${entry#*=}
     if [ "$commit" = "$LAST" ]; then
         BENCH_ARGS="--bench simperf=$OUT/BENCH_simperf.json \
-                    --bench predecode=$OUT/BENCH_predecode.json"
+                    --bench predecode=$OUT/BENCH_predecode.json \
+                    --bench traffic=$OUT/BENCH_traffic.json"
     else
         BENCH_ARGS=""
     fi
@@ -97,6 +122,7 @@ for entry in $COMMITS; do
         --counters "$TMP"/counters.json \
         --kernel-windows "$TMP"/kernel_windows.json \
         --spans "$TMP"/spans.json \
+        --traffic "$TMP"/traffic.json \
         $BENCH_ARGS
 done
 

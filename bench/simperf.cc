@@ -8,10 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include "core/aosd.hh"
+#include "sim/batch/batch.hh"
 #include "sim/counters/counters.hh"
 #include "sim/parallel/parallel_runner.hh"
 #include "sim/spantrace/spantrace.hh"
 #include "study/report.hh"
+#include "workload/traffic.hh"
 
 using namespace aosd;
 
@@ -233,6 +235,69 @@ BM_WorkloadRunSampled(benchmark::State &state)
     }
 }
 BENCHMARK(BM_WorkloadRunSampled);
+
+/** Shared body of the kernel-window charging benchmarks: a seeded
+ *  randomized stream of homogeneous event runs (the traffic driver's
+ *  replayEventMix) against one R3000 kernel with counters and the
+ *  profiler on — the instrumentation state a report run charges
+ *  under. `batched` selects the closed-form batch charger or the
+ *  per-event reference loop; the two produce byte-identical state, so
+ *  the events/sec ratio is the batch win (CI gates it >= 5x). */
+void
+kernelWindowChargingBody(benchmark::State &state, bool batched)
+{
+    MachineDesc m = makeMachine(MachineId::R3000);
+    SimKernel kernel(m);
+    AddressSpace &space = kernel.createSpace("mix");
+    space.mapRange(0x1000, 64, 0x50000, {});
+    HwCounters::instance().enable();
+    Profiler::instance().enable();
+    const bool batch_was = batchEnabled();
+    setBatchEnabled(batched);
+    constexpr std::uint64_t eventsPerIter = 100'000;
+    std::uint64_t seed = 1;
+    std::uint64_t events = 0;
+    for (auto _ : state)
+        events += replayEventMix(kernel, &space, eventsPerIter, seed++);
+    setBatchEnabled(batch_was);
+    Profiler::instance().disable();
+    Profiler::instance().clear();
+    HwCounters::instance().disable();
+    HwCounters::instance().reset();
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void
+BM_KernelWindowBatched(benchmark::State &state)
+{
+    kernelWindowChargingBody(state, true);
+}
+BENCHMARK(BM_KernelWindowBatched);
+
+void
+BM_KernelWindowPerEvent(benchmark::State &state)
+{
+    kernelWindowChargingBody(state, false);
+}
+BENCHMARK(BM_KernelWindowPerEvent);
+
+void
+BM_TrafficRun(benchmark::State &state)
+{
+    // One serial traffic sweep — 10k requests per load level on the
+    // R3000 across the default four levels — the unit of work the
+    // million-request aosd_traffic sweeps scale up.
+    TrafficConfig cfg;
+    cfg.requestsPerLevel = 10'000;
+    cfg.machines = {MachineId::R3000};
+    for (auto _ : state) {
+        ParallelRunner serial(1);
+        Json doc = buildTrafficDoc(cfg, serial);
+        benchmark::DoNotOptimize(doc.size());
+    }
+}
+BENCHMARK(BM_TrafficRun)->Unit(benchmark::kMillisecond);
 
 void
 BM_CopyModel(benchmark::State &state)

@@ -33,6 +33,28 @@ profileBreakdown(const CycleBreakdown &bd)
     add("fpu_sync", bd.fpuSync);
 }
 
+void
+profileBreakdownRepeated(const CycleBreakdown &bd, std::uint64_t k)
+{
+    if (!profilerEnabled() || k == 0)
+        return;
+    Profiler &p = Profiler::instance();
+    auto add = [&](const char *cause, Cycles c) {
+        if (c)
+            p.addLeafCyclesRepeated(cause, c, k);
+    };
+    add("base", bd.base);
+    add("write_buffer_stall", bd.writeBufferStall);
+    add("cache_miss_stall", bd.cacheMissStall);
+    add("uncached", bd.uncached);
+    add("ctrl_reg", bd.ctrlReg);
+    add("microcode", bd.microcode);
+    add("tlb_ops", bd.tlbOps);
+    add("cache_maintenance", bd.cacheMaintenance);
+    add("trap_hardware", bd.trapHardware);
+    add("fpu_sync", bd.fpuSync);
+}
+
 CycleBreakdown &
 CycleBreakdown::operator+=(const CycleBreakdown &o)
 {

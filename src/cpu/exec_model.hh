@@ -59,6 +59,17 @@ struct CycleBreakdown
  */
 void profileBreakdown(const CycleBreakdown &bd);
 
+/**
+ * Batched profileBreakdown: attribute `k` repetitions of a breakdown
+ * in one closed-form update per cause — byte-identical to calling
+ * profileBreakdown(bd) k times (same leaf creation order, entry
+ * counts and histogram contents). The kernel's batch charger uses
+ * this to replay a cached phase's attribution for a whole run of
+ * homogeneous events.
+ */
+void profileBreakdownRepeated(const CycleBreakdown &bd,
+                              std::uint64_t k);
+
 /** Result of executing one phase. */
 struct PhaseResult
 {

@@ -3,8 +3,10 @@
 #include "cpu/decoded_program.hh"
 #include "cpu/exec_model.hh"
 #include "cpu/handlers.hh"
+#include "sim/batch/batch.hh"
 #include "sim/counters/counters.hh"
 #include "sim/logging.hh"
+#include "sim/sampling/sampler.hh"
 #include "sim/spantrace/spantrace.hh"
 #include "sim/trace.hh"
 
@@ -125,6 +127,228 @@ SimKernel::chargePrimitive(Primitive p)
     }
     cycleCount += pc.cycles;
     primCycles += pc.cycles;
+}
+
+bool
+SimKernel::batchActive() const
+{
+    return batchEnabled() && predecodeEnabled() &&
+           batchObserversIdle();
+}
+
+void
+SimKernel::chargePrimitiveBatch(const char *scope, Primitive p,
+                                std::uint64_t n)
+{
+    const PrimitiveCost &pc = *primCost[static_cast<std::size_t>(p)];
+    if (profilerEnabled()) {
+        // Replay the per-event attribution in closed form: the outer
+        // scope and each phase entered n times, every cause leaf
+        // charged its per-event constant × n, and every histogram fed
+        // n copies of the per-event value — the same nodes in the
+        // same creation order as n per-event invocations.
+        Profiler &prof = Profiler::instance();
+        ProfNode *outer = prof.pushRepeated(scope, n);
+        Cycles outer_each = 0;
+        for (const PhaseResult &ph : pc.detail.phases) {
+            ProfNode *pn = prof.pushRepeated(phaseSlug(ph.kind), n);
+            profileBreakdownRepeated(ph.breakdown, n);
+            Cycles each = ph.breakdown.total();
+            prof.popRepeated(pn, each, n);
+            outer_each += each;
+        }
+        prof.popRepeated(outer, outer_each, n);
+    }
+    cycleCount += pc.cycles * n;
+    primCycles += pc.cycles * n;
+}
+
+void
+SimKernel::batchScopedPrimitive(const char *scope, Primitive p,
+                                std::uint64_t *stat, HwCounter event,
+                                std::uint64_t n, bool sample_each)
+{
+    const PrimitiveCost &pc = *primCost[static_cast<std::size_t>(p)];
+    const Cycles start = cycleCount;
+    const Cycles prim_start = primCycles;
+    *stat += n;
+    countEvent(event, n);
+    chargePrimitiveBatch(scope, p, n);
+    if (sample_each) {
+        CounterSet per;
+        per.set(event, 1);
+        CounterSampler::instance().tickRun(start, pc.cycles, n, per,
+                                           prim_start, pc.cycles);
+    }
+}
+
+void
+SimKernel::syscallBatch(std::uint64_t n, bool sample_each)
+{
+    if (n == 0)
+        return;
+    if (!batchActive()) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            syscall();
+            if (sample_each)
+                CounterSampler::instance().tick(
+                    cycleCount, static_cast<double>(primCycles));
+        }
+        return;
+    }
+    batchScopedPrimitive("syscall", Primitive::NullSyscall,
+                         statSyscalls, HwCounter::KernelSyscalls, n,
+                         sample_each);
+}
+
+void
+SimKernel::trapBatch(std::uint64_t n, bool sample_each)
+{
+    if (n == 0)
+        return;
+    if (!batchActive()) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            trap();
+            if (sample_each)
+                CounterSampler::instance().tick(
+                    cycleCount, static_cast<double>(primCycles));
+        }
+        return;
+    }
+    batchScopedPrimitive("trap", Primitive::Trap, statTraps,
+                         HwCounter::KernelTraps, n, sample_each);
+}
+
+void
+SimKernel::otherExceptionBatch(std::uint64_t n, bool sample_each)
+{
+    if (n == 0)
+        return;
+    if (!batchActive()) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            otherException();
+            if (sample_each)
+                CounterSampler::instance().tick(
+                    cycleCount, static_cast<double>(primCycles));
+        }
+        return;
+    }
+    batchScopedPrimitive("exception", Primitive::Trap,
+                         statOtherExceptions, HwCounter::KernelTraps,
+                         n, sample_each);
+}
+
+void
+SimKernel::threadSwitchBatch(std::uint64_t n, bool sample_each)
+{
+    if (n == 0)
+        return;
+    if (!batchActive()) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            threadSwitch();
+            if (sample_each)
+                CounterSampler::instance().tick(
+                    cycleCount, static_cast<double>(primCycles));
+        }
+        return;
+    }
+    batchScopedPrimitive("thread_switch", Primitive::ContextSwitch,
+                         statThreadSwitches,
+                         HwCounter::ThreadSwitches, n, sample_each);
+}
+
+void
+SimKernel::emulateTestAndSetBatch(std::uint64_t n, bool sample_each)
+{
+    if (n == 0)
+        return;
+    if (!batchActive()) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            emulateTestAndSet();
+            if (sample_each)
+                CounterSampler::instance().tick(
+                    cycleCount, static_cast<double>(primCycles));
+        }
+        return;
+    }
+    const Cycles start = cycleCount;
+    const Cycles prim_start = primCycles;
+    *statEmulatedInstrs += n;
+    countEvent(HwCounter::EmulatedInstrs, n);
+    countEvent(HwCounter::EmulatedTasOps, n);
+    cycleCount += tasCycles * n;
+    primCycles += tasCycles * n;
+    if (profilerEnabled())
+        Profiler::instance().addLeafCyclesRepeated(
+            "emulated_test_and_set", tasCycles, n);
+    if (sample_each) {
+        CounterSet per;
+        per.set(HwCounter::EmulatedInstrs, 1);
+        per.set(HwCounter::EmulatedTasOps, 1);
+        CounterSampler::instance().tickRun(start, tasCycles, n, per,
+                                           prim_start, tasCycles);
+    }
+}
+
+void
+SimKernel::emulateSingleInstructionsBatch(std::uint64_t n,
+                                          bool sample_each)
+{
+    if (n == 0)
+        return;
+    if (!batchActive()) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            emulateInstructions(1);
+            if (sample_each)
+                CounterSampler::instance().tick(
+                    cycleCount, static_cast<double>(primCycles));
+        }
+        return;
+    }
+    const Cycles start = cycleCount;
+    const Cycles prim_start = primCycles;
+    *statEmulatedInstrs += n;
+    countEvent(HwCounter::EmulatedInstrs, n);
+    cycleCount += emulatedInstrCycles * n;
+    primCycles += emulatedInstrCycles * n;
+    if (profilerEnabled())
+        Profiler::instance().addLeafCyclesRepeated(
+            "emulate_instr", emulatedInstrCycles, n);
+    if (sample_each) {
+        CounterSet per;
+        per.set(HwCounter::EmulatedInstrs, 1);
+        CounterSampler::instance().tickRun(start, emulatedInstrCycles,
+                                           n, per, prim_start,
+                                           emulatedInstrCycles);
+    }
+}
+
+void
+SimKernel::pteChangeBatch(AddressSpace &space,
+                          const std::vector<Vpn> &vpns, PageProt prot)
+{
+    if (vpns.empty())
+        return;
+    if (!batchActive()) {
+        for (Vpn vpn : vpns)
+            pteChange(space, vpn, prot);
+        return;
+    }
+    const auto n = static_cast<std::uint64_t>(vpns.size());
+    *statPteChanges += n;
+    countEvent(HwCounter::PteChanges, n);
+    chargePrimitiveBatch("pte_change", Primitive::PteChange, n);
+    // Stepped state edits at the batch boundary: each page's PTE,
+    // TLB shootdown and (virtually-indexed) cache flush. These only
+    // mutate state and bump their own counters — no cycles, no
+    // attribution — so running them after the aggregate charge
+    // leaves every observable total equal to the interleaved loop's.
+    for (Vpn vpn : vpns) {
+        space.pageTable().protect(vpn, prot);
+        tlbModel.invalidate(vpn, space.asid());
+        if (desc.cache.indexing == CacheIndexing::Virtual)
+            cacheModel.flushPage(vpn << pageShift, space.asid());
+    }
 }
 
 void

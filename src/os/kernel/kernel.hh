@@ -105,6 +105,46 @@ class SimKernel
     /** An interrupt or page fault ("other exceptions" in Table 7). */
     void otherException();
 
+    // ---- batched primitive operations -----------------------------
+    // Each *Batch(n) charges `n` back-to-back invocations of its
+    // per-event counterpart in one closed-form update: cycles and
+    // HwCounters as the decoded per-event constants × n, profiler
+    // entries/self-cycles/histograms via the sampleN batch updates,
+    // sampler boundaries via CounterSampler::tickRun — byte-identical
+    // to the per-event loop in every JSON document. Whenever batching
+    // cannot apply (--no-batch / AOSD_NO_BATCH / AOSD_DISABLE_BATCH,
+    // the reference interpreter mode, the tracer on, or an open
+    // span-traced request), they fall back to that per-event loop.
+    // `sample_each` reproduces the workload drivers' per-event
+    //   CounterSampler::tick(elapsedCycles(), primitiveCycles())
+    // after every event.
+
+    void syscallBatch(std::uint64_t n, bool sample_each = false);
+    void trapBatch(std::uint64_t n, bool sample_each = false);
+    void otherExceptionBatch(std::uint64_t n,
+                             bool sample_each = false);
+    void threadSwitchBatch(std::uint64_t n, bool sample_each = false);
+    void emulateTestAndSetBatch(std::uint64_t n,
+                                bool sample_each = false);
+
+    /** n × emulateInstructions(1) — one per-instruction histogram
+     *  sample each, *not* emulateInstructions(n), which folds the
+     *  whole run into a single attribution event. */
+    void emulateSingleInstructionsBatch(std::uint64_t n,
+                                        bool sample_each = false);
+
+    /** Batch-charge one pteChange per VPN, then step the per-page
+     *  state edits (PTE protection, TLB shootdown, virtual-cache
+     *  flush) at the batch boundary. The state ops commute with the
+     *  charges, so results equal the per-event loop's exactly. */
+    void pteChangeBatch(AddressSpace &space,
+                        const std::vector<Vpn> &vpns, PageProt prot);
+
+    /** Batching applies right now: the toggle is on, the pre-decoded
+     *  fast path is active, and no per-event observer (tracer, open
+     *  span request) is watching. */
+    bool batchActive() const;
+
     // ---- memory references ----------------------------------------
     /**
      * Touch pages in the current space through the TLB, charging
@@ -152,6 +192,17 @@ class SimKernel
 
   private:
     void chargePrimitive(Primitive p);
+    /** Closed-form chargePrimitive × n under an outer profiler scope
+     *  entered n times (the batch fast path; caller checked
+     *  batchActive()). */
+    void chargePrimitiveBatch(const char *scope, Primitive p,
+                              std::uint64_t n);
+    /** Shared body of the scoped batch ops (syscall/trap/exception/
+     *  thread switch): stat + counter + charge + optional per-event
+     *  sampler boundaries. */
+    void batchScopedPrimitive(const char *scope, Primitive p,
+                              std::uint64_t *stat, HwCounter event,
+                              std::uint64_t n, bool sample_each);
     /** Re-interpret the software refill handler for one TLB miss
      *  (predecode-off reference path); its total equals the modeled
      *  constant the fast path charges, by construction. */

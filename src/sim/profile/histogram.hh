@@ -40,6 +40,11 @@ class Histogram
 
     void sample(std::uint64_t v);
 
+    /** Fold `k` identical samples of `v` in one update — exactly
+     *  equivalent to calling sample(v) k times (the batch charger's
+     *  closed-form histogram path). k == 0 is a no-op. */
+    void sampleN(std::uint64_t v, std::uint64_t k);
+
     void reset();
 
     /** Fold another histogram's samples into this one (bucket counts,

@@ -113,6 +113,50 @@ Profiler::addLeafCycles(const char *leaf, Cycles c)
 #endif
 }
 
+void
+Profiler::addLeafCyclesRepeated(const char *leaf, Cycles each,
+                                std::uint64_t k)
+{
+#ifndef AOSD_PROFILER_DISABLED
+    if (!profdetail::on || k == 0)
+        return;
+    ProfNode *node = cur->child(leaf);
+    node->selfCycles += each * k;
+    node->entries += k;
+    node->spans.sampleN(each, k);
+    attributed += each * k;
+#else
+    (void)leaf;
+    (void)each;
+    (void)k;
+#endif
+}
+
+ProfNode *
+Profiler::pushRepeated(const char *name, std::uint64_t k)
+{
+#ifndef AOSD_PROFILER_DISABLED
+    if (!profdetail::on)
+        return nullptr;
+    cur = cur->child(name);
+    cur->entries += k;
+    return cur;
+#else
+    (void)name;
+    (void)k;
+    return nullptr;
+#endif
+}
+
+void
+Profiler::popRepeated(ProfNode *node, Cycles each, std::uint64_t k)
+{
+    if (!node)
+        return;
+    node->spans.sampleN(each, k);
+    cur = node->parent ? node->parent : &rootNode;
+}
+
 const ProfNode *
 Profiler::node(const std::vector<std::string> &path) const
 {

@@ -146,6 +146,22 @@ class Profiler
      *  samples the leaf's histogram with `c`. */
     void addLeafCycles(const char *leaf, Cycles c);
 
+    /** Batched addLeafCycles: `k` attribution events of `each` cycles
+     *  to a named leaf child of the current scope, in one closed-form
+     *  update — byte-identical to k addLeafCycles(leaf, each) calls. */
+    void addLeafCyclesRepeated(const char *leaf, Cycles each,
+                               std::uint64_t k);
+
+    /** Batched scope entry: descend into `name` as if `k` identical
+     *  scopes opened back to back (entries += k). Pair with
+     *  popRepeated(). Returns nullptr when profiling is off. */
+    ProfNode *pushRepeated(const char *name, std::uint64_t k);
+
+    /** Batched scope exit for pushRepeated(): sample `k` spans of
+     *  `each` inclusive cycles and return to the parent. No-op when
+     *  `node` is nullptr. */
+    void popRepeated(ProfNode *node, Cycles each, std::uint64_t k);
+
     /** Every cycle attributed since enable(). */
     Cycles attributedCycles() const { return attributed; }
 

@@ -40,13 +40,18 @@ CounterSampler::begin(const SamplerConfig &cfg, Cycles start_cycle,
 void
 CounterSampler::take(Cycles now, double aux)
 {
+    record(now, aux, HwCounters::instance().snapshot());
+}
+
+void
+CounterSampler::record(Cycles now, double aux, CounterSet &&snap)
+{
     if (series_.samples.size() == cap) {
         // Ring semantics: overwrite the oldest sample.
         series_.samples.erase(series_.samples.begin());
         ++series_.dropped;
     }
-    series_.samples.push_back(
-        {now, aux, HwCounters::instance().snapshot()});
+    series_.samples.push_back({now, aux, std::move(snap)});
     series_.endCycle = now;
     lastSample = now;
     nextDue = now + series_.intervalCycles;
@@ -76,6 +81,58 @@ CounterSampler::take(Cycles now, double aux)
                    occ > 0 ? static_cast<std::uint64_t>(occ + 0.5)
                            : 0);
     }
+}
+
+void
+CounterSampler::tickRun(Cycles start, Cycles per_event,
+                        std::uint64_t n,
+                        const CounterSet &per_event_counters,
+                        std::uint64_t aux_start,
+                        std::uint64_t aux_per_event)
+{
+#ifndef AOSD_SAMPLER_DISABLED
+    if (!smpdetail::on || n == 0)
+        return;
+    if (per_event == 0) {
+        // Zero-cost events never advance the clock, so the per-event
+        // loop samples at most once: at the first event, iff the
+        // boundary was already due (after which nextDue moves past
+        // the stationary clock).
+        if (start >= nextDue)
+            take(start,
+                 static_cast<double>(aux_start + aux_per_event));
+        return;
+    }
+    const CounterSet now_counters = HwCounters::instance().snapshot();
+    for (;;) {
+        // First event of the run whose completion reaches the due
+        // boundary — the event the per-event loop would sample at.
+        // nextDue <= start can only hold before the run's first
+        // sample; afterwards record() pushed it past the clock.
+        std::uint64_t i = 1;
+        if (nextDue > start)
+            i = (nextDue - start + per_event - 1) / per_event;
+        if (i > n)
+            return;
+        CounterSet snap = now_counters;
+        for (std::size_t c = 0; c < numHwCounters; ++c) {
+            auto hc = static_cast<HwCounter>(c);
+            std::uint64_t per = per_event_counters.get(hc);
+            if (per && !counterIsHighWater(hc))
+                snap.set(hc, snap.get(hc) - per * (n - i));
+        }
+        record(start + per_event * i,
+               static_cast<double>(aux_start + aux_per_event * i),
+               std::move(snap));
+    }
+#else
+    (void)start;
+    (void)per_event;
+    (void)n;
+    (void)per_event_counters;
+    (void)aux_start;
+    (void)aux_per_event;
+#endif
 }
 
 void

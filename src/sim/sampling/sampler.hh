@@ -148,6 +148,27 @@ class CounterSampler
 #endif
     }
 
+    /**
+     * Batch-charge path: the caller just advanced its clock from
+     * `start` by `n` homogeneous events of `per_event` cycles each in
+     * one closed-form charge, with the thread's counter file already
+     * holding the post-batch values. Emits exactly the samples the
+     * per-event loop
+     *
+     *   for i in 1..n:
+     *     tick(start + i*per_event, double(aux_start + i*aux_per_event))
+     *
+     * would have taken — one per interval boundary the run crosses,
+     * never one fat sample — reconstructing each intermediate counter
+     * snapshot by rolling the current counters back by the (n - i)
+     * events that had not yet happened. `per_event_counters` is one
+     * event's counter bumps; high-water counters must be untouched by
+     * the batched events (they cannot be rolled back).
+     */
+    void tickRun(Cycles start, Cycles per_event, std::uint64_t n,
+                 const CounterSet &per_event_counters,
+                 std::uint64_t aux_start, std::uint64_t aux_per_event);
+
     bool active() const { return samplingEnabled(); }
 
     std::size_t size() const { return series_.samples.size(); }
@@ -159,6 +180,8 @@ class CounterSampler
   private:
     CounterSampler() = default;
     void take(Cycles now, double aux);
+    /** Append one sample (ring semantics, Perfetto tracks, nextDue). */
+    void record(Cycles now, double aux, CounterSet &&snap);
 
     Cycles nextDue = 0;
     Cycles lastSample = 0;

@@ -106,6 +106,32 @@ spansDigest(const Json &doc)
     return doc;
 }
 
+/**
+ * traffic.json minus the per-cell slowest-request exemplar arrays:
+ * like span exemplars, individual requests are shapes to look at, not
+ * figures to band, and a record per commit must stay small.
+ */
+Json
+trafficDigest(const Json &doc)
+{
+    if (doc.isObject()) {
+        Json out = Json::object();
+        for (const auto &[key, value] : doc.items()) {
+            if (key == "slowest_requests")
+                continue;
+            out.set(key, trafficDigest(value));
+        }
+        return out;
+    }
+    if (doc.isArray()) {
+        Json out = Json::array();
+        for (std::size_t i = 0; i < doc.size(); ++i)
+            out.push(trafficDigest(doc.at(i)));
+        return out;
+    }
+    return doc;
+}
+
 double
 medianOf(std::vector<double> v)
 {
@@ -272,6 +298,8 @@ buildPerfDbRecord(const std::string &commit,
                  summarizeNumericArrays(*in.timeseries));
     if (in.spans)
         docs.set("spans", spansDigest(*in.spans));
+    if (in.traffic)
+        docs.set("traffic", trafficDigest(*in.traffic));
     if (!in.bench.empty()) {
         Json bench = Json::object();
         for (const auto &[suite, doc] : in.bench) {
@@ -337,6 +365,26 @@ recordMetrics(const PerfDbRecord &rec)
         flattenDoc(*ts, "timeseries.", out);
     if (const Json *spans = rec.doc("spans"))
         flattenDoc(*spans, "spans.", out);
+    if (const Json *traffic = rec.doc("traffic")) {
+        // traffic.<machine>.l<level index>.<cell figure> — machine
+        // slug and level position instead of the raw array indices.
+        const Json *machines = traffic->find("machines");
+        if (machines && machines->isArray()) {
+            for (std::size_t i = 0; i < machines->size(); ++i) {
+                const Json &m = machines->at(i);
+                const Json *slug = m.find("machine");
+                const Json *levels = m.find("load_levels");
+                if (!slug || !slug->isString() || !levels ||
+                    !levels->isArray())
+                    continue;
+                for (std::size_t li = 0; li < levels->size(); ++li)
+                    flattenDoc(levels->at(li),
+                               "traffic." + slug->asString() + ".l" +
+                                   std::to_string(li) + ".",
+                               out);
+            }
+        }
+    }
     for (const std::string &name : rec.docNames()) {
         if (name.rfind("bench.", 0) != 0)
             continue;

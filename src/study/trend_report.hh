@@ -56,6 +56,10 @@ struct PerfDbRecordInputs
     /** Raw spans.json; stored with the exemplar span trees stripped
      *  so the record keeps the percentile and attribution figures. */
     const Json *spans = nullptr;
+    /** Raw traffic.json; stored with the per-cell slowest-request
+     *  exemplar arrays stripped, keeping the latency percentiles,
+     *  throughput and reconciliation figures. */
+    const Json *traffic = nullptr;
     /** (suite name, google-benchmark document) pairs. */
     std::vector<std::pair<std::string, const Json *>> bench;
 };

@@ -148,9 +148,14 @@ MachSystem::run(const AppProfile &app)
     for (std::uint64_t i = 0; i < n; ++i) {
         if (osStructure == OsStructure::Monolithic) {
             serviceCallMonolithic(kernel, app_space, daemon, app, rng);
+            // Drain each accumulator to a count, then charge the
+            // whole homogeneous run in one batched call (falls back
+            // to the identical per-event loop under --no-batch).
+            std::uint64_t emul25_n = 0;
             for (emul25_acc += emul25_per; emul25_acc >= 1;
                  emul25_acc -= 1)
-                kernel.emulateInstructions(1);
+                ++emul25_n;
+            kernel.emulateSingleInstructionsBatch(emul25_n);
         } else {
             serviceCallSmallKernel(kernel, app_space, unix_server,
                                    cache_mgr, app, rng);
@@ -159,20 +164,29 @@ MachSystem::run(const AppProfile &app)
         kernel.runUserCode(user_per_call);
         kernel.touchWorkingSet();
 
+        std::uint64_t faults_n = 0;
         for (faults_acc += faults_per; faults_acc >= 1; faults_acc -= 1)
-            kernel.otherException();
+            ++faults_n;
+        kernel.otherExceptionBatch(faults_n);
+        // Interrupt handling interleaves a stateful kernel-pool touch
+        // (TLB content, rng draws) per event, so it stays stepped.
         for (ints_acc += ints_per; ints_acc >= 1; ints_acc -= 1) {
             kernel.otherException();
             touchKernelPool(kernel, 1, rng);
         }
+        std::uint64_t intra_n = 0;
         for (intra_acc += intra_per; intra_acc >= 1; intra_acc -= 1)
-            kernel.threadSwitch();
-        for (locks_acc += locks_per; locks_acc >= 1; locks_acc -= 1) {
-            if (needs_tas_emulation)
-                kernel.emulateTestAndSet();
-            else
-                kernel.chargeCycles(atomic_lock_cost);
-        }
+            ++intra_n;
+        kernel.threadSwitchBatch(intra_n);
+        std::uint64_t locks_n = 0;
+        for (locks_acc += locks_per; locks_acc >= 1; locks_acc -= 1)
+            ++locks_n;
+        if (needs_tas_emulation)
+            kernel.emulateTestAndSetBatch(locks_n);
+        else if (locks_n)
+            // addCycles has no per-event observable (no entry count,
+            // no histogram), so one aggregate charge is exact.
+            kernel.chargeCycles(locks_n * atomic_lock_cost);
 
         sampler.tick(kernel.elapsedCycles(),
                      static_cast<double>(kernel.primitiveCycles()));
@@ -184,11 +198,10 @@ MachSystem::run(const AppProfile &app)
     double elapsed = kernel.elapsedSeconds();
     auto clock_ints = static_cast<std::uint64_t>(
         elapsed * cfg.clockInterruptHz);
-    for (std::uint64_t i = 0; i < clock_ints; ++i) {
-        kernel.otherException();
-        sampler.tick(kernel.elapsedCycles(),
-                     static_cast<double>(kernel.primitiveCycles()));
-    }
+    // sample_each: the per-event loop ticked the sampler after every
+    // clock interrupt; the batched charge reproduces each crossed
+    // interval boundary via CounterSampler::tickRun.
+    kernel.otherExceptionBatch(clock_ints, /*sample_each=*/true);
     auto resched = static_cast<std::uint64_t>(
         elapsed * cfg.quantumSwitchesPerSecond / 2.0);
     for (std::uint64_t i = 0; i < resched; ++i) {

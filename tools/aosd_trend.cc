@@ -9,7 +9,7 @@
  *       --report report.json --counters counters.json \
  *       --kernel-windows kernel_windows.json --profile profile.json \
  *       --timeseries timeseries.json --spans spans.json \
- *       --bench simperf=BENCH.json
+ *       --traffic traffic.json --bench simperf=BENCH.json
  *   aosd_trend list --db perfdb.jsonl
  *   aosd_trend metrics --db perfdb.jsonl --filter counters.SPARC
  *   aosd_trend query --db perfdb.jsonl \
@@ -56,7 +56,7 @@ usage(const char *argv0)
         "           --commit C --time T [--host H] [--flags F]\n"
         "           [--report f] [--counters f] [--kernel-windows f]\n"
         "           [--profile f] [--timeseries f] [--spans f]\n"
-        "           [--bench suite=f]... [--replace]\n"
+        "           [--traffic f] [--bench suite=f]... [--replace]\n"
         "  list     one line per record (--json for the metadata)\n"
         "  metrics  every metric path ([--filter S] substring list)\n"
         "  query    one metric's series + rolling stats\n"
@@ -131,7 +131,7 @@ struct Args
     std::string host = "unknown";
     std::string flags = "unknown";
     std::string report, counters, kernelWindows, profile, timeseries,
-        spans;
+        spans, traffic;
     std::vector<std::pair<std::string, std::string>> bench;
     bool replace = false;
     std::string metric;
@@ -164,7 +164,7 @@ cmdIngest(const Args &a)
         return 2;
     }
 
-    Json report, counters, kw, profile, timeseries, spans;
+    Json report, counters, kw, profile, timeseries, spans, traffic;
     std::vector<Json> bench_docs(a.bench.size());
     PerfDbRecordInputs in;
     if (!a.report.empty()) {
@@ -197,13 +197,18 @@ cmdIngest(const Args &a)
             return 2;
         in.spans = &spans;
     }
+    if (!a.traffic.empty()) {
+        if (!loadJsonFile(a.traffic, traffic))
+            return 2;
+        in.traffic = &traffic;
+    }
     for (std::size_t i = 0; i < a.bench.size(); ++i) {
         if (!loadJsonFile(a.bench[i].second, bench_docs[i]))
             return 2;
         in.bench.emplace_back(a.bench[i].first, &bench_docs[i]);
     }
     if (!in.report && !in.counters && !in.kernelWindows &&
-        !in.profile && !in.timeseries && !in.spans &&
+        !in.profile && !in.timeseries && !in.spans && !in.traffic &&
         in.bench.empty()) {
         std::fprintf(stderr,
                      "ingest: nothing to ingest (pass at least one "
@@ -484,6 +489,8 @@ main(int argc, char **argv)
             a.timeseries = value();
         } else if (arg == "--spans") {
             a.spans = value();
+        } else if (arg == "--traffic") {
+            a.traffic = value();
         } else if (arg == "--bench") {
             std::string spec = value();
             std::size_t eq = spec.find('=');
