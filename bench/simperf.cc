@@ -12,6 +12,7 @@
 #include "sim/counters/counters.hh"
 #include "sim/parallel/parallel_runner.hh"
 #include "sim/spantrace/spantrace.hh"
+#include "study/dashboard/dashboard.hh"
 #include "study/report.hh"
 #include "workload/traffic.hh"
 
@@ -364,6 +365,37 @@ BENCHMARK(BM_ReportParallel)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+void
+BM_DashboardRender(benchmark::State &state)
+{
+    // Render-only cost of the unified observability site: the input
+    // documents are built once outside the loop, so the figure
+    // tracks HTML/SVG generation, not simulation.
+    static const Json report = [] {
+        ParallelRunner serial(1);
+        Json doc = buildReport(serial);
+        resetReportState();
+        return doc;
+    }();
+    static const Json traffic = [] {
+        TrafficConfig cfg;
+        cfg.requestsPerLevel = 2'000;
+        cfg.machines = {MachineId::R3000};
+        ParallelRunner serial(1);
+        return buildTrafficDoc(cfg, serial);
+    }();
+    DashboardInputs in;
+    in.report = &report;
+    in.traffic = {&traffic};
+    for (auto _ : state) {
+        ParallelRunner serial(1);
+        DashboardSite site =
+            buildDashboardSite(in, DashboardOptions{}, serial);
+        benchmark::DoNotOptimize(site.pages.back().html.size());
+    }
+}
+BENCHMARK(BM_DashboardRender)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

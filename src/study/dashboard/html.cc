@@ -1,0 +1,226 @@
+#include "study/dashboard/html.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace aosd
+{
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '&':
+            out += "&amp;";
+            break;
+          case '<':
+            out += "&lt;";
+            break;
+          case '>':
+            out += "&gt;";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+fmtNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+sparklineSvg(const std::vector<double> &values, bool flagged)
+{
+    const double w = 120, h = 24, pad = 2;
+    std::string svg = "<svg width=\"120\" height=\"24\" "
+                      "viewBox=\"0 0 120 24\">";
+    if (values.size() >= 2) {
+        double lo = values[0], hi = values[0];
+        for (double v : values) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        double span = hi - lo;
+        std::string pts;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            double x = pad + (w - 2 * pad) *
+                                 static_cast<double>(i) /
+                                 static_cast<double>(values.size() - 1);
+            double y =
+                span > 0
+                    ? h - pad - (h - 2 * pad) * (values[i] - lo) / span
+                    : h / 2;
+            if (!pts.empty())
+                pts += ' ';
+            pts += fmtNum(x) + "," + fmtNum(y);
+        }
+        svg += "<polyline fill=\"none\" stroke=\"";
+        svg += flagged ? "#c0392b" : "#2c7fb8";
+        svg += "\" stroke-width=\"1.5\" points=\"" + pts + "\"/>";
+        // Mark the newest point.
+        std::size_t last_space = pts.rfind(' ');
+        std::string last_pt = last_space == std::string::npos
+                                  ? pts
+                                  : pts.substr(last_space + 1);
+        std::size_t comma = last_pt.find(',');
+        svg += "<circle cx=\"" + last_pt.substr(0, comma) +
+               "\" cy=\"" + last_pt.substr(comma + 1) +
+               "\" r=\"2\" fill=\"";
+        svg += flagged ? "#c0392b" : "#2c7fb8";
+        svg += "\"/>";
+    }
+    svg += "</svg>";
+    return svg;
+}
+
+namespace
+{
+
+/** Map a value into y pixels on a sqrt scale topping out at `hi`. */
+double
+sqrtY(double v, double hi, double top, double bottom)
+{
+    if (hi <= 0)
+        return bottom;
+    double f = std::sqrt(std::max(v, 0.0)) / std::sqrt(hi);
+    return bottom - (bottom - top) * f;
+}
+
+} // namespace
+
+std::string
+lineChartSvg(const std::vector<std::string> &labels,
+             const std::vector<ChartSeries> &series,
+             const ChartSeries &overlay, int width, int height,
+             const std::string &yUnit, const std::string &overlayUnit)
+{
+    const double w = width, h = height;
+    const double left = 64, right = overlay.values.empty() ? 16 : 56;
+    const double top = 14, bottom = h - 26;
+    const std::size_t n = labels.size();
+
+    double hi = 0;
+    for (const ChartSeries &s : series)
+        for (double v : s.values)
+            hi = std::max(hi, v);
+    double ohi = 0;
+    for (double v : overlay.values)
+        ohi = std::max(ohi, v);
+
+    auto xAt = [&](std::size_t i) {
+        return n <= 1 ? (left + w - right) / 2
+                      : left + (w - right - left) *
+                                   static_cast<double>(i) /
+                                   static_cast<double>(n - 1);
+    };
+
+    std::string svg = "<svg width=\"" + std::to_string(width) +
+                      "\" height=\"" + std::to_string(height) +
+                      "\" viewBox=\"0 0 " + std::to_string(width) +
+                      " " + std::to_string(height) +
+                      "\" class=\"chart\">";
+
+    // Horizontal grid + left axis labels at quarters of the sqrt
+    // scale (v = hi * (k/4)^2 lands the gridlines evenly).
+    for (int k = 0; k <= 4; ++k) {
+        double frac = static_cast<double>(k) / 4.0;
+        double v = hi * frac * frac;
+        double y = bottom - (bottom - top) * frac;
+        svg += "<line x1=\"" + fmtNum(left) + "\" y1=\"" + fmtNum(y) +
+               "\" x2=\"" + fmtNum(w - right) + "\" y2=\"" +
+               fmtNum(y) + "\" class=\"grid\"/>";
+        svg += "<text x=\"" + fmtNum(left - 4) + "\" y=\"" +
+               fmtNum(y + 3) + "\" class=\"tick\" "
+               "text-anchor=\"end\">" +
+               htmlEscape(fmtNum(v)) + "</text>";
+    }
+    if (!yUnit.empty())
+        svg += "<text x=\"2\" y=\"" + fmtNum(top - 4) +
+               "\" class=\"tick\">" + htmlEscape(yUnit) + "</text>";
+
+    // X labels.
+    for (std::size_t i = 0; i < n; ++i)
+        svg += "<text x=\"" + fmtNum(xAt(i)) + "\" y=\"" +
+               fmtNum(h - 10) + "\" class=\"tick\" "
+               "text-anchor=\"middle\">" +
+               htmlEscape(labels[i]) + "</text>";
+
+    // Series polylines + point markers.
+    for (const ChartSeries &s : series) {
+        std::string pts;
+        for (std::size_t i = 0;
+             i < std::min(n, s.values.size()); ++i) {
+            if (!pts.empty())
+                pts += ' ';
+            pts += fmtNum(xAt(i)) + "," +
+                   fmtNum(sqrtY(s.values[i], hi, top, bottom));
+        }
+        svg += "<polyline fill=\"none\" stroke=\"" + s.color +
+               "\" stroke-width=\"1.5\" points=\"" + pts + "\"/>";
+        for (std::size_t i = 0;
+             i < std::min(n, s.values.size()); ++i)
+            svg += "<circle cx=\"" + fmtNum(xAt(i)) + "\" cy=\"" +
+                   fmtNum(sqrtY(s.values[i], hi, top, bottom)) +
+                   "\" r=\"2\" fill=\"" + s.color + "\"/>";
+    }
+
+    // Overlay against its own right-hand sqrt scale.
+    if (!overlay.values.empty()) {
+        std::string pts;
+        for (std::size_t i = 0;
+             i < std::min(n, overlay.values.size()); ++i) {
+            if (!pts.empty())
+                pts += ' ';
+            pts += fmtNum(xAt(i)) + "," +
+                   fmtNum(sqrtY(overlay.values[i], ohi, top, bottom));
+        }
+        svg += "<polyline fill=\"none\" stroke=\"" + overlay.color +
+               "\" stroke-width=\"1.2\" stroke-dasharray=\"4 3\" "
+               "points=\"" +
+               pts + "\"/>";
+        svg += "<text x=\"" + fmtNum(w - right + 4) + "\" y=\"" +
+               fmtNum(top + 3) + "\" class=\"tick\">" +
+               htmlEscape(fmtNum(ohi)) + "</text>";
+        svg += "<text x=\"" + fmtNum(w - right + 4) + "\" y=\"" +
+               fmtNum(bottom + 3) + "\" class=\"tick\">0</text>";
+        if (!overlayUnit.empty())
+            svg += "<text x=\"" + fmtNum(w - right + 4) + "\" y=\"" +
+                   fmtNum((top + bottom) / 2) +
+                   "\" class=\"tick\">" + htmlEscape(overlayUnit) +
+                   "</text>";
+    }
+
+    // Legend along the top edge.
+    double lx = left;
+    auto legendEntry = [&](const std::string &name,
+                           const std::string &color, bool dashed) {
+        svg += "<line x1=\"" + fmtNum(lx) + "\" y1=\"8\" x2=\"" +
+               fmtNum(lx + 14) + "\" y2=\"8\" stroke=\"" + color +
+               "\" stroke-width=\"2\"" +
+               (dashed ? " stroke-dasharray=\"4 3\"" : "") + "/>";
+        lx += 18;
+        svg += "<text x=\"" + fmtNum(lx) +
+               "\" y=\"11\" class=\"tick\">" + htmlEscape(name) +
+               "</text>";
+        lx += 7.0 * static_cast<double>(name.size()) + 10;
+    };
+    for (const ChartSeries &s : series)
+        legendEntry(s.name, s.color, false);
+    if (!overlay.values.empty())
+        legendEntry(overlay.name, overlay.color, true);
+
+    svg += "</svg>";
+    return svg;
+}
+
+} // namespace aosd

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared HTML/SVG rendering helpers for the static dashboards.
+ *
+ * Both the trend dashboard (study/trend_report) and the unified
+ * observability site (study/dashboard) emit self-contained HTML with
+ * inline SVG — no scripts, no external assets — so the artifacts can
+ * be archived, diffed and served from a dumb static host. Everything
+ * here is a pure function of its arguments: identical inputs render
+ * identical bytes, which is what lets CI `cmp` two independently
+ * generated sites.
+ */
+
+#ifndef AOSD_STUDY_DASHBOARD_HTML_HH
+#define AOSD_STUDY_DASHBOARD_HTML_HH
+
+#include <string>
+#include <vector>
+
+namespace aosd
+{
+
+/** Escape &, < and > for embedding in HTML text or attributes. */
+std::string htmlEscape(const std::string &s);
+
+/** Compact numeric formatting ("%.6g") shared by every table. */
+std::string fmtNum(double v);
+
+/** Inline SVG sparkline of `values`, oldest left; flagged series
+ *  render red. */
+std::string sparklineSvg(const std::vector<double> &values,
+                         bool flagged);
+
+/** One named series of a latency-vs-load chart. */
+struct ChartSeries
+{
+    std::string name;  ///< legend label ("p99")
+    std::string color; ///< CSS color
+    std::vector<double> values;
+};
+
+/**
+ * Inline SVG line chart: `labels` along the x axis (evenly spaced),
+ * every series on a square-root y scale (sqrt is correctly rounded
+ * per IEEE 754, so the bytes are machine-independent; a log scale
+ * would not be). The sqrt scale keeps both a quiet p50 and a
+ * collapsed p999 readable on one plot. `overlay` (may be empty) is
+ * drawn dashed against its own right-hand scale — the queue-depth
+ * overlay of the traffic charts.
+ */
+std::string lineChartSvg(const std::vector<std::string> &labels,
+                         const std::vector<ChartSeries> &series,
+                         const ChartSeries &overlay, int width,
+                         int height, const std::string &yUnit,
+                         const std::string &overlayUnit);
+
+} // namespace aosd
+
+#endif // AOSD_STUDY_DASHBOARD_HTML_HH

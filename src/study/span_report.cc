@@ -328,7 +328,14 @@ emitMeta(const char *kind, const std::string &name_value, int pid,
 Json
 buildSpansDoc(ParallelRunner &runner, const SpanOptions &opts)
 {
-    const std::vector<MachineDesc> &machines = table1Machines();
+    std::vector<MachineDesc> machines;
+    if (opts.machines.empty()) {
+        machines = table1Machines();
+    } else {
+        machines.reserve(opts.machines.size());
+        for (MachineId id : opts.machines)
+            machines.push_back(makeMachine(id));
+    }
 
     std::vector<std::function<Json()>> tasks;
     tasks.reserve(machines.size() * std::size(allPrimitives) +

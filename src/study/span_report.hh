@@ -34,7 +34,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "arch/machines.hh"
 #include "sim/json.hh"
 #include "sim/parallel/parallel_runner.hh"
 
@@ -56,6 +58,10 @@ struct SpanOptions
     std::uint32_t touchesMax = 8;
     /** Base seed; each cell derives its own deterministic stream. */
     std::uint64_t seed = 0x0a05d5ed;
+    /** Machines to study; empty selects the Table 1 machines (the
+     *  same --machines subsetting spelling as aosd_counters and
+     *  aosd_traffic). */
+    std::vector<MachineId> machines;
 };
 
 /** Build spans.json v1 (deterministic at any runner job count). */

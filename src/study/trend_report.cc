@@ -6,6 +6,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "study/dashboard/html.hh"
+
 namespace aosd
 {
 
@@ -79,12 +81,8 @@ flattenReportDoc(const Json &doc, std::vector<PerfLeaf> &out)
         }
 }
 
-/**
- * spans.json minus the per-request span trees: exemplars (and the
- * `spans` trees inside the ipc section) are shapes to look at, not
- * figures to band, and they would bloat every record. Percentiles,
- * drop counts and the tail-attribution numbers stay.
- */
+} // namespace
+
 Json
 spansDigest(const Json &doc)
 {
@@ -106,11 +104,6 @@ spansDigest(const Json &doc)
     return doc;
 }
 
-/**
- * traffic.json minus the per-cell slowest-request exemplar arrays:
- * like span exemplars, individual requests are shapes to look at, not
- * figures to band, and a record per commit must stay small.
- */
 Json
 trafficDigest(const Json &doc)
 {
@@ -131,6 +124,9 @@ trafficDigest(const Json &doc)
     }
     return doc;
 }
+
+namespace
+{
 
 double
 medianOf(std::vector<double> v)
@@ -187,83 +183,6 @@ buildMetricTable(const PerfDb &db)
         table.push_back(std::move(row));
     }
     return table;
-}
-
-std::string
-fmtNum(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    return buf;
-}
-
-std::string
-htmlEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '&':
-            out += "&amp;";
-            break;
-          case '<':
-            out += "&lt;";
-            break;
-          case '>':
-            out += "&gt;";
-            break;
-          default:
-            out += c;
-        }
-    }
-    return out;
-}
-
-/** Inline SVG sparkline of `values`, oldest left. */
-std::string
-sparklineSvg(const std::vector<double> &values, bool flagged)
-{
-    const double w = 120, h = 24, pad = 2;
-    std::string svg = "<svg width=\"120\" height=\"24\" "
-                      "viewBox=\"0 0 120 24\">";
-    if (values.size() >= 2) {
-        double lo = values[0], hi = values[0];
-        for (double v : values) {
-            lo = std::min(lo, v);
-            hi = std::max(hi, v);
-        }
-        double span = hi - lo;
-        std::string pts;
-        for (std::size_t i = 0; i < values.size(); ++i) {
-            double x = pad + (w - 2 * pad) *
-                                 static_cast<double>(i) /
-                                 static_cast<double>(values.size() - 1);
-            double y =
-                span > 0
-                    ? h - pad - (h - 2 * pad) * (values[i] - lo) / span
-                    : h / 2;
-            if (!pts.empty())
-                pts += ' ';
-            pts += fmtNum(x) + "," + fmtNum(y);
-        }
-        svg += "<polyline fill=\"none\" stroke=\"";
-        svg += flagged ? "#c0392b" : "#2c7fb8";
-        svg += "\" stroke-width=\"1.5\" points=\"" + pts + "\"/>";
-        // Mark the newest point.
-        std::size_t last_space = pts.rfind(' ');
-        std::string last_pt = last_space == std::string::npos
-                                  ? pts
-                                  : pts.substr(last_space + 1);
-        std::size_t comma = last_pt.find(',');
-        svg += "<circle cx=\"" + last_pt.substr(0, comma) +
-               "\" cy=\"" + last_pt.substr(comma + 1) +
-               "\" r=\"2\" fill=\"";
-        svg += flagged ? "#c0392b" : "#2c7fb8";
-        svg += "\"/>";
-    }
-    svg += "</svg>";
-    return svg;
 }
 
 } // namespace
@@ -501,6 +420,30 @@ buildTrendQueryDoc(const PerfDb &db, const std::string &metric,
     rolling.set("latest", Json(stats.latest));
     rolling.set("pct_change_vs_median", Json(stats.pctChange));
     doc.set("rolling", std::move(rolling));
+    return doc;
+}
+
+Json
+buildTrendListDoc(const PerfDb &db)
+{
+    Json doc = Json::object();
+    doc.set("schema_version", Json(1));
+    doc.set("generator", Json("aosd_trend list"));
+    Json arr = Json::array();
+    for (const PerfDbRecord &rec : db.records()) {
+        Json j = Json::object();
+        j.set("id", Json(rec.id()));
+        j.set("commit", Json(rec.commit()));
+        j.set("timestamp", Json(rec.timestamp()));
+        j.set("host", Json(rec.host()));
+        j.set("build_flags", Json(rec.buildFlags()));
+        Json docs = Json::array();
+        for (const std::string &name : rec.docNames())
+            docs.push(Json(name));
+        j.set("docs", std::move(docs));
+        arr.push(std::move(j));
+    }
+    doc.set("records", std::move(arr));
     return doc;
 }
 

@@ -80,6 +80,29 @@ Json buildPerfDbRecord(const std::string &commit,
  *  within each document, documents in stored order). */
 std::vector<PerfLeaf> recordMetrics(const PerfDbRecord &rec);
 
+/**
+ * spans.json minus the per-request span trees: exemplars (and the
+ * `spans` trees inside the ipc section) are shapes to look at, not
+ * figures to band, and they would bloat every record. Percentiles,
+ * drop counts and the tail-attribution numbers stay. Applied at
+ * perfdb ingest.
+ */
+Json spansDigest(const Json &doc);
+
+/**
+ * traffic.json minus the per-cell slowest-request exemplar arrays:
+ * like span exemplars, individual requests are shapes to look at, not
+ * figures to band, and a record per commit must stay small. Applied
+ * at perfdb ingest.
+ */
+Json trafficDigest(const Json &doc);
+
+/** Machine-readable database inventory (aosd_trend list --json):
+ *  {"records":[{"id","commit","timestamp","host","build_flags",
+ *  "docs":[...]}, ...]} — what scripts and the dashboard's history
+ *  page enumerate before exporting documents. */
+Json buildTrendListDoc(const PerfDb &db);
+
 /** One record's value of one metric. */
 struct MetricPoint
 {

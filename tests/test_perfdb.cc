@@ -226,4 +226,18 @@ TEST(PerfDb, SummarizeNumericArraysDigestsSeries)
     EXPECT_EQ(out.at("cell").at("label").asString(), "keep");
 }
 
+TEST(PerfDb, SummarizeNumericArraysSingleElementWindow)
+{
+    // A one-sample series (a single timeseries window) digests to a
+    // degenerate but well-formed summary, never to NaN.
+    Json doc = parse(R"({"cycles": [7]})");
+    Json out = summarizeNumericArrays(doc);
+    const Json &digest = out.at("cycles");
+    EXPECT_EQ(digest.at("n").asNumber(), 1);
+    EXPECT_DOUBLE_EQ(digest.at("mean").asNumber(), 7.0);
+    EXPECT_DOUBLE_EQ(digest.at("min").asNumber(), 7.0);
+    EXPECT_DOUBLE_EQ(digest.at("max").asNumber(), 7.0);
+    EXPECT_DOUBLE_EQ(digest.at("last").asNumber(), 7.0);
+}
+
 } // namespace

@@ -255,6 +255,24 @@ smallOptions()
     return opts;
 }
 
+TEST_F(SpantraceTest, MachinesOptionSubsetsTheGrid)
+{
+    // --machines SPARC,R3000: only the named machines appear, in
+    // the requested order, with the ipc section filtered the same
+    // way — the same subsetting spelling as aosd_counters and
+    // aosd_traffic.
+    SpanOptions opts = smallOptions();
+    opts.requestsPerPair = 50;
+    opts.machines = {MachineId::SPARC, MachineId::R3000};
+    ParallelRunner runner(2);
+    Json doc = buildSpansDoc(runner, opts);
+    const Json &machines = doc.at("machines");
+    ASSERT_EQ(machines.size(), 2u);
+    EXPECT_EQ(machines.items()[0].first, "SPARC");
+    EXPECT_EQ(machines.items()[1].first, "R3000");
+    EXPECT_EQ(doc.at("ipc").size(), 2u);
+}
+
 TEST_F(SpantraceTest, SpansDocIsByteIdenticalAcrossJobs)
 {
     ParallelRunner serial(1);

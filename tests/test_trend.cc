@@ -354,4 +354,109 @@ TEST_F(TrendTest, HtmlDashboardRendersSparklinesAndFlags)
     EXPECT_NE(ok_html.find(">ok<"), std::string::npos);
 }
 
+TEST_F(TrendTest, AllEqualSeriesHasZeroMadAndNeverFlags)
+{
+    // A perfectly deterministic metric: MAD is exactly 0, so the
+    // band collapses to the relative tolerance alone. No division
+    // by zero, no spurious flag.
+    RollingStats s = rollingStats({250, 250, 250, 250, 250}, 20);
+    EXPECT_DOUBLE_EQ(s.mad, 0.0);
+    EXPECT_DOUBLE_EQ(s.median, 250.0);
+    EXPECT_DOUBLE_EQ(s.pctChange, 0.0);
+    EXPECT_TRUE(
+        checkTrends(dbWithSeries({250, 250, 250, 250, 250}), 0.05,
+                    20)
+            .ok());
+
+    // ... and a move just past the tolerance still flags, i.e. the
+    // zero MAD does not widen the band.
+    EXPECT_EQ(checkTrends(dbWithSeries({250, 250, 250, 265}), 0.05,
+                          20)
+                  .flags.size(),
+              1u);
+
+    // A single-point series has no baseline: skipped, not flagged,
+    // and the stats stay finite.
+    RollingStats single = rollingStats({42}, 20);
+    EXPECT_EQ(single.baselinePoints, 0u);
+    EXPECT_DOUBLE_EQ(single.latest, 42.0);
+    TrendCheckResult r = checkTrends(dbWithSeries({42}), 0.05, 20);
+    EXPECT_EQ(r.metricsChecked, 0u);
+    EXPECT_EQ(r.metricsSkipped, 1u);
+    EXPECT_TRUE(r.ok());
+
+    // An all-zero series: |median| = 0 makes the relative band
+    // empty, but an unchanged latest value must still pass.
+    EXPECT_TRUE(
+        checkTrends(dbWithSeries({0, 0, 0, 0}), 0.05, 20).ok());
+}
+
+TEST_F(TrendTest, DigestsStripExemplarsAndKeepFigures)
+{
+    Json spans = Json::object();
+    {
+        Json cell = Json::object();
+        Json cycles = Json::object();
+        cycles.set("p99", Json(1900));
+        cell.set("cycles", std::move(cycles));
+        Json ex = Json::array();
+        ex.push(Json("tree"));
+        cell.set("exemplars", std::move(ex));
+        Json prims = Json::object();
+        prims.set("null_syscall", std::move(cell));
+        Json machines = Json::object();
+        machines.set("R3000", std::move(prims));
+        spans.set("machines", std::move(machines));
+    }
+    Json sd = spansDigest(spans);
+    EXPECT_EQ(sd.at("machines")
+                  .at("R3000")
+                  .at("null_syscall")
+                  .at("cycles")
+                  .at("p99")
+                  .asNumber(),
+              1900);
+    EXPECT_EQ(sd.at("machines")
+                  .at("R3000")
+                  .at("null_syscall")
+                  .find("exemplars"),
+              nullptr);
+
+    Json traffic = Json::object();
+    {
+        Json level = Json::object();
+        level.set("load", Json(0.9));
+        Json slow = Json::array();
+        slow.push(Json("req"));
+        level.set("slowest_requests", std::move(slow));
+        traffic.set("cell", std::move(level));
+    }
+    Json td = trafficDigest(traffic);
+    EXPECT_DOUBLE_EQ(td.at("cell").at("load").asNumber(), 0.9);
+    EXPECT_EQ(td.at("cell").find("slowest_requests"), nullptr);
+
+    // Documents without the stripped keys pass through unchanged —
+    // including empty containers.
+    Json empty = Json::object();
+    empty.set("machines", Json::array());
+    EXPECT_EQ(trafficDigest(empty).dump(), empty.dump());
+    EXPECT_EQ(spansDigest(empty).dump(), empty.dump());
+}
+
+TEST_F(TrendTest, TrendListDocInventoriesTheDatabase)
+{
+    PerfDb db = dbWithSeries({1, 2});
+    Json doc = buildTrendListDoc(db);
+    EXPECT_EQ(doc.at("schema_version").asNumber(), 1);
+    ASSERT_EQ(doc.at("records").size(), 2u);
+    const Json &first = doc.at("records").at(0);
+    EXPECT_EQ(first.at("id").asString(), "c0@t0");
+    EXPECT_EQ(first.at("commit").asString(), "c0");
+    EXPECT_EQ(first.at("host").asString(), "h");
+    ASSERT_EQ(first.at("docs").size(), 1u);
+    EXPECT_EQ(first.at("docs").at(0).asString(), "report");
+
+    EXPECT_EQ(buildTrendListDoc(PerfDb{}).at("records").size(), 0u);
+}
+
 } // namespace

@@ -38,7 +38,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--json [path]] [--perfetto path] [--jobs N]\n"
-        "          [--requests N] [--top K] [--no-predecode]\n"
+        "          [--requests N] [--top K] [--machines SLUG[,...]]\n"
+        "          [--no-predecode]\n"
         "  --json [path]   write spans.json (stdout when no path)\n"
         "  --perfetto path write a chrome://tracing export of the\n"
         "                  exemplar span trees\n"
@@ -49,6 +50,10 @@ usage(const char *argv0)
         "                  primitive) cell (default 1000)\n"
         "  --top K         slowest-request exemplars per cell\n"
         "                  (default 3)\n"
+        "  --machines list comma-separated machine slugs\n"
+        "                  (default: the five Table 1 machines; the\n"
+        "                  same spelling as aosd_counters and\n"
+        "                  aosd_traffic)\n"
         "  --no-predecode  re-interpret handler programs per kernel\n"
         "                  event (slow reference path; output is\n"
         "                  identical — CI cmp-gates it)\n",
@@ -123,6 +128,24 @@ main(int argc, char **argv)
                 return 2;
             }
             opts.topK = static_cast<std::size_t>(k);
+        } else if (arg == "--machines") {
+            std::string list;
+            if (!takesValue(list))
+                return 2;
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                std::string slug = list.substr(pos, comma - pos);
+                if (!slug.empty())
+                    opts.machines.push_back(machineFromSlug(slug));
+                pos = comma + 1;
+            }
+            if (opts.machines.empty()) {
+                usage(argv[0]);
+                return 2;
+            }
         } else if (arg == "--no-predecode") {
             setPredecodeEnabled(false);
         } else if (arg == "--help" || arg == "-h") {

@@ -262,21 +262,7 @@ int
 cmdList(const Args &a, const PerfDb &db)
 {
     if (a.json) {
-        Json arr = Json::array();
-        for (const PerfDbRecord &rec : db.records()) {
-            Json j = Json::object();
-            j.set("id", Json(rec.id()));
-            j.set("commit", Json(rec.commit()));
-            j.set("timestamp", Json(rec.timestamp()));
-            j.set("host", Json(rec.host()));
-            j.set("build_flags", Json(rec.buildFlags()));
-            Json docs = Json::array();
-            for (const std::string &name : rec.docNames())
-                docs.push(Json(name));
-            j.set("docs", std::move(docs));
-            arr.push(std::move(j));
-        }
-        std::printf("%s\n", arr.dump(1).c_str());
+        std::printf("%s\n", buildTrendListDoc(db).dump(1).c_str());
         return 0;
     }
     for (const PerfDbRecord &rec : db.records()) {
